@@ -1,0 +1,12 @@
+"""Helpers shared by the benchmark harness modules."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Execute ``func`` exactly once under pytest-benchmark timing.
+
+    The figure-level benchmarks each wrap tens of retraining runs, so a single
+    timed execution is both sufficient and necessary to keep the harness fast.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Every figure-level benchmark shares one pre-trained experiment context (the
+``fast`` preset) so that the expensive pre-training step runs exactly once per
+benchmark session.  The figure benchmarks use ``benchmark.pedantic(...,
+rounds=1)`` because a single run already involves tens of retraining runs;
+the substrate micro-benchmarks use normal repeated timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentContext, build_population, fast_preset
+
+
+@pytest.fixture(scope="session")
+def fast_context():
+    """Pre-trained context for the 'fast' preset (built once per session)."""
+    return ExperimentContext.from_preset(fast_preset())
+
+
+@pytest.fixture(scope="session")
+def fast_profile(fast_context):
+    """The Step-1 resilience profile for the fast preset (computed once)."""
+    return fast_context.resilience_profile()
+
+
+@pytest.fixture(scope="session")
+def fast_population(fast_context):
+    """The faulty-chip population used by every Fig. 3 benchmark."""
+    return build_population(fast_context)

@@ -1,0 +1,45 @@
+"""Benchmark regenerating Fig. 2a: accuracy vs fault rate at fixed retraining amounts.
+
+Paper reference (VGG11 / CIFAR-10, 256x256 array): without retraining the
+accuracy collapses as the fault rate grows; tiny amounts of retraining
+(0.05 epochs) recover most of the loss at low fault rates, and larger amounts
+(5-10 epochs) keep the model usable up to high fault rates.  The benchmark
+asserts that qualitative shape and prints the regenerated curves.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig2a
+
+from bench_utils import run_once
+
+
+def test_fig2a_accuracy_vs_fault_rate(benchmark, fast_context):
+    result = run_once(benchmark, run_fig2a, fast_context)
+
+    rates = result.fault_rates
+    no_retraining = result.curve(0.0)
+    most_retraining = result.mean_accuracy[-1]
+
+    # Shape check 1: without retraining, accuracy at the highest fault rate is
+    # far below the clean accuracy (faults hurt).
+    assert no_retraining[-1] < result.clean_accuracy - 0.2
+
+    # Shape check 2: accuracy degrades overall with fault rate (allowing local
+    # noise): the first half of the curve averages higher than the second half.
+    mid = len(rates) // 2
+    assert no_retraining[:mid].mean() > no_retraining[mid:].mean()
+
+    # Shape check 3: more retraining shifts the curve up at every fault rate
+    # (within a small tolerance for evaluation noise).
+    assert np.all(most_retraining >= no_retraining - 0.05)
+    assert most_retraining.mean() > no_retraining.mean()
+
+    print("\nFig. 2a analogue (preset=fast, dataset=synthetic, clean acc "
+          f"{result.clean_accuracy:.3f}):")
+    print(result.render())
+    for row in result.rows():
+        print(
+            f"  epochs={row['retraining_epochs']:<5g} rate={row['fault_rate']:.2f} "
+            f"acc={row['mean_accuracy']:.3f} [{row['min_accuracy']:.3f}, {row['max_accuracy']:.3f}]"
+        )

@@ -1,0 +1,46 @@
+"""Benchmark regenerating Fig. 2b: retraining epochs required vs fault rate.
+
+Paper reference: the number of epochs needed to reach a target accuracy grows
+with the fault rate and with the target; the min/max error bars over the five
+fault-map trials show that using the mean would under-train some chips, which
+is why Reduce uses the maximum.
+"""
+
+import numpy as np
+
+from repro.experiments import run_fig2b
+
+from bench_utils import run_once
+
+
+def test_fig2b_epochs_required_vs_fault_rate(benchmark, fast_context, fast_profile):
+    result = run_once(benchmark, run_fig2b, fast_context, profile=fast_profile)
+
+    max_epochs = result.max_epochs
+    mean_epochs = result.mean_epochs
+    min_epochs = result.min_epochs
+
+    # Shape check 1: requirements are ordered min <= mean <= max everywhere.
+    assert np.all(min_epochs <= mean_epochs + 1e-9)
+    assert np.all(mean_epochs <= max_epochs + 1e-9)
+
+    # Shape check 2: the retraining requirement grows with the fault rate —
+    # the highest analysed rate needs at least as much as the lowest, for the
+    # hardest target.
+    assert max_epochs[-1, -1] >= max_epochs[-1, 0]
+    # and is non-trivial (some retraining is actually needed at high rates).
+    assert max_epochs[-1, -1] > 0
+
+    # Shape check 3: harder targets never require fewer epochs than easier ones.
+    for rate_index in range(max_epochs.shape[1]):
+        column = max_epochs[:, rate_index]
+        assert np.all(np.diff(column) >= -1e-9)
+
+    print(f"\nFig. 2b analogue (targets resolved against clean accuracy "
+          f"{result.clean_accuracy:.3f}):")
+    print(result.render())
+    for row in result.rows():
+        print(
+            f"  target={row['target_accuracy']:.3f} rate={row['fault_rate']:.2f} "
+            f"epochs: mean={row['mean_epochs']:.2f} min={row['min_epochs']:.2f} max={row['max_epochs']:.2f}"
+        )

@@ -1,0 +1,85 @@
+"""Benchmarks regenerating Fig. 3a-e: per-chip retraining campaigns per policy.
+
+Each benchmark retrains the pre-trained model for every chip in the shared
+population under one retraining policy and asserts the per-policy claims made
+in the paper:
+
+* Fig. 3a (``reduce-max``): nearly all chips meet the accuracy constraint;
+* Fig. 3b (``reduce-mean``): cheaper but meets the constraint less often
+  (the mean statistic under-trains);
+* Fig. 3c-e (fixed budgets): the fraction of chips meeting the constraint
+  grows with the fixed budget.
+"""
+
+import numpy as np
+import pytest
+
+from bench_utils import run_once
+from repro.core.reporting import campaign_scatter_csv
+
+
+@pytest.fixture(scope="module")
+def framework(fast_context, fast_profile):
+    framework = fast_context.framework()
+    framework.set_profile(fast_profile)
+    return framework
+
+
+def _print_campaign(campaign):
+    print(f"\npolicy={campaign.policy_name}  target={campaign.target_accuracy:.3f}")
+    print(f"  avg epochs/chip = {campaign.average_epochs:.4f}")
+    print(f"  % meeting constraint = {campaign.percent_meeting_constraint:.1f}")
+    print(campaign_scatter_csv(campaign))
+
+
+def test_fig3a_reduce_max_policy(benchmark, framework, fast_population):
+    campaign = run_once(benchmark, framework.run, fast_population, statistic="max")
+    _print_campaign(campaign)
+    # The max statistic is chosen for confidence: the large majority of chips
+    # must meet the constraint.
+    assert campaign.fraction_meeting_constraint >= 0.75
+    # Low-fault-rate chips must be nearly free: the policy adapts per chip.
+    cheapest = campaign.epochs().min()
+    most_expensive = campaign.epochs().max()
+    assert cheapest <= 0.1
+    assert most_expensive > cheapest
+
+
+def test_fig3b_reduce_mean_policy(benchmark, framework, fast_population):
+    reduce_max = framework.run(fast_population, statistic="max")
+    campaign = run_once(benchmark, framework.run, fast_population, statistic="mean")
+    _print_campaign(campaign)
+    # The mean statistic spends no more than the max statistic on average...
+    assert campaign.average_epochs <= reduce_max.average_epochs + 1e-9
+    # ...and (as the paper observes) under-trains: it cannot meaningfully beat
+    # reduce-max on the fraction of chips meeting the constraint (tolerance of
+    # one chip to absorb training noise).
+    one_chip = 1.0 / len(fast_population)
+    assert campaign.fraction_meeting_constraint <= reduce_max.fraction_meeting_constraint + one_chip + 1e-9
+
+
+@pytest.mark.parametrize("budget_index", [0, 1, 2], ids=["fig3c-low", "fig3d-mid", "fig3e-high"])
+def test_fig3cde_fixed_policies(benchmark, framework, fast_context, fast_population, budget_index):
+    budget = fast_context.preset.fixed_policy_epochs[budget_index]
+    campaign = run_once(benchmark, framework.run_fixed_policy, fast_population, budget)
+    _print_campaign(campaign)
+    assert campaign.average_epochs == pytest.approx(budget, rel=0.05)
+    # Every chip gets exactly the same budget under the fixed policy.
+    assert np.allclose(campaign.epochs(), budget, rtol=0.05)
+
+
+def test_fig3_fixed_policy_satisfaction_grows_with_budget(benchmark, framework, fast_context, fast_population):
+    """Summary property of Fig. 3c-e: more fixed retraining -> more chips pass."""
+
+    def run_all_fixed():
+        return [
+            framework.run_fixed_policy(fast_population, budget)
+            for budget in fast_context.preset.fixed_policy_epochs
+        ]
+
+    campaigns = run_once(benchmark, run_all_fixed)
+    fractions = [campaign.fraction_meeting_constraint for campaign in campaigns]
+    print("\nfixed budgets:", list(fast_context.preset.fixed_policy_epochs))
+    print("fraction meeting constraint:", [round(fraction, 3) for fraction in fractions])
+    assert fractions == sorted(fractions)
+    assert fractions[-1] > fractions[0]

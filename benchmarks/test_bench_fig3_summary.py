@@ -1,0 +1,43 @@
+"""Benchmark regenerating Fig. 3f: the policy-comparison summary and Pareto front.
+
+Paper claim: "the proposed Reduce framework produces better (more robust)
+models with lesser training compared to the fixed-policy techniques", i.e.
+Reduce lies on the Pareto front of (average retraining epochs, % of chips
+meeting the accuracy constraint).
+"""
+
+from bench_utils import run_once
+from repro.experiments import run_fig3
+
+
+def test_fig3f_policy_comparison_summary(benchmark, fast_context, fast_population):
+    result = run_once(
+        benchmark,
+        run_fig3,
+        fast_context,
+        population=fast_population,
+    )
+
+    print(f"\nFig. 3f analogue (constraint = {result.target_accuracy:.3f}, "
+          f"clean accuracy = {result.clean_accuracy:.3f}):")
+    print(result.summary_table())
+    print("\nPareto-optimal policies:", ", ".join(result.pareto_policies()))
+    print()
+    print(result.render_scatter())
+
+    reduce_max = result.reduce_max
+    # Headline claim: Reduce (max statistic) is on the Pareto front.
+    assert result.reduce_on_pareto_front()
+
+    # Reduce must dominate or match every fixed policy that spends at least as
+    # much average retraining: no fixed policy with <= Reduce's average epochs
+    # satisfies strictly more chips.
+    for name, campaign in result.fixed_campaigns().items():
+        if campaign.average_epochs <= reduce_max.average_epochs + 1e-9:
+            assert campaign.fraction_meeting_constraint <= reduce_max.fraction_meeting_constraint + 1e-9, name
+
+    # And Reduce achieves a high satisfaction rate at a fraction of the cost of
+    # the largest fixed budget.
+    heaviest_fixed = max(result.fixed_campaigns().values(), key=lambda c: c.average_epochs)
+    assert reduce_max.average_epochs < heaviest_fixed.average_epochs
+    assert reduce_max.fraction_meeting_constraint >= 0.75

@@ -1,0 +1,108 @@
+"""Micro-benchmarks of the substrate the experiments are built on.
+
+Unlike the figure-level benchmarks (which run once), these use repeated timing
+so regressions in the hot paths — convolution forward/backward, fault-mask
+generation, one fault-aware training step, resilience-profile lookups — are
+visible in the pytest-benchmark statistics.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.accelerator import FaultMap, model_fault_masks
+from repro.core import AccuracyConstraint, ResilienceDrivenPolicy
+from repro.core.chips import Chip
+from repro.data import DataLoader
+from repro.models import build_model
+from repro.nn import functional as F
+from repro.training import Trainer, TrainingConfig
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def conv_inputs():
+    x = nn.Tensor(RNG.standard_normal((8, 16, 16, 16)).astype(np.float32), requires_grad=True)
+    weight = nn.Tensor(RNG.standard_normal((32, 16, 3, 3)).astype(np.float32), requires_grad=True)
+    bias = nn.Tensor(RNG.standard_normal(32).astype(np.float32), requires_grad=True)
+    return x, weight, bias
+
+
+def test_bench_conv2d_forward(benchmark, conv_inputs):
+    x, weight, bias = conv_inputs
+    with nn.no_grad():
+        result = benchmark(lambda: F.conv2d(x, weight, bias, stride=1, padding=1))
+    assert result.shape == (8, 32, 16, 16)
+
+
+def test_bench_conv2d_forward_backward(benchmark, conv_inputs):
+    x, weight, bias = conv_inputs
+
+    def step():
+        out = F.conv2d(x, weight, bias, stride=1, padding=1)
+        loss = (out * out).mean()
+        x.grad = weight.grad = bias.grad = None
+        loss.backward()
+        return loss.item()
+
+    loss_value = benchmark(step)
+    assert np.isfinite(loss_value)
+
+
+def test_bench_fault_mask_generation_vgg11(benchmark):
+    """Mask generation for a full-width VGG11 on the paper's 256x256 array."""
+    model = build_model("vgg11", (3, 32, 32), 10, seed=0, width_multiplier=1.0)
+    fault_map = FaultMap.random(256, 256, 0.1, seed=0)
+    masks = benchmark(model_fault_masks, model, fault_map)
+    total = sum(int(mask.sum()) for mask in masks.values())
+    assert total > 0
+
+
+def test_bench_fault_aware_training_step(benchmark, fast_context):
+    """One masked optimizer step of the fast preset's model."""
+    context = fast_context
+    context.restore_pretrained()
+    masks = model_fault_masks(context.model, FaultMap.random(*context.array.shape, 0.2, seed=0))
+    trainer = Trainer(
+        context.model,
+        context.bundle.train,
+        context.bundle.test,
+        config=TrainingConfig(learning_rate=0.01, batch_size=40, seed=0),
+        masks=masks,
+    )
+    benchmark(trainer._train_steps, 1)
+    context.restore_pretrained()
+
+
+def test_bench_evaluation_pass(benchmark, fast_context):
+    """Full test-set evaluation of the fast preset's model."""
+    from repro.training import evaluate_accuracy
+
+    accuracy = benchmark(evaluate_accuracy, fast_context.model, fast_context.bundle.test)
+    assert 0.0 <= accuracy <= 1.0
+
+
+def test_bench_resilience_profile_lookup(benchmark, fast_profile):
+    """Step-2 lookups must be effectively free compared with retraining."""
+    chip = Chip("bench", FaultMap.random(64, 64, 0.17, seed=5))
+    policy = ResilienceDrivenPolicy(
+        profile=fast_profile,
+        constraint=AccuracyConstraint.within_drop_of_clean(0.02),
+        statistic="max",
+    )
+    epochs = benchmark(policy.epochs_for_chip, chip)
+    assert epochs >= 0.0
+
+
+def test_bench_dataloader_iteration(benchmark, fast_context):
+    loader = DataLoader(fast_context.bundle.train, batch_size=40, shuffle=True, seed=0)
+
+    def run_epoch():
+        count = 0
+        for _inputs, _targets in loader:
+            count += 1
+        return count
+
+    batches = benchmark(run_epoch)
+    assert batches == len(loader)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Resilience analysis of a DNN under permanent systolic-array faults (Fig. 2).
+
+This example reproduces the two resilience views the Reduce framework builds
+on (paper Fig. 2a/2b) and renders them as terminal plots:
+
+* accuracy vs fault rate at several fixed retraining amounts, and
+* retraining epochs required to reach target accuracies vs fault rate,
+  with min/mean/max over repeated fault-map trials.
+
+Run with::
+
+    python examples/resilience_analysis.py             # fast preset
+    python examples/resilience_analysis.py --smoke     # seconds
+    python examples/resilience_analysis.py --save profile.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.experiments import ExperimentContext, fast_preset, run_fig2a, run_fig2b, smoke_preset
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="use the tiny smoke preset")
+    parser.add_argument("--save", type=Path, default=None, help="write the resilience profile as JSON")
+    args = parser.parse_args()
+
+    preset = smoke_preset() if args.smoke else fast_preset()
+    print(f"== Resilience analysis (preset: {preset.name}) ==")
+    context = ExperimentContext.from_preset(preset)
+    print(f"clean accuracy of the pre-trained model: {context.clean_accuracy:.3f}\n")
+
+    # Fig. 2a analogue: accuracy vs fault rate for fixed retraining amounts.
+    print("[fig 2a] accuracy vs fault rate at fixed retraining amounts")
+    fig2a = run_fig2a(context)
+    print(fig2a.render())
+    print()
+
+    # Fig. 2b analogue: epochs required vs fault rate for target accuracies.
+    print("[fig 2b] retraining epochs required vs fault rate (error bars = min/max over trials)")
+    fig2b = run_fig2b(context)
+    print(fig2b.render())
+    print()
+    print("numeric table (max over trials, the statistic Reduce uses):")
+    for row in fig2b.rows():
+        print(f"  target={row['target_accuracy']:.3f} fault_rate={row['fault_rate']:.2f} "
+              f"epochs: min={row['min_epochs']:.2f} mean={row['mean_epochs']:.2f} max={row['max_epochs']:.2f}")
+
+    # The same data drives Step 2 of the framework; it can be saved and reused.
+    if args.save is not None:
+        args.save.parent.mkdir(parents=True, exist_ok=True)
+        args.save.write_text(json.dumps(fig2b.profile.to_dict(), indent=2))
+        print(f"\nresilience profile written to {args.save}")
+        print("reload it later with ResilienceProfile.from_dict(json.loads(path.read_text()))")
+
+
+if __name__ == "__main__":
+    main()

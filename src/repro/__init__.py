@@ -1,0 +1,60 @@
+"""Reproduction of "Reduce: A Framework for Reducing the Overheads of
+Fault-Aware Retraining" (Hanif & Shafique, DATE 2023).
+
+Sub-packages
+------------
+``repro.nn``           numpy autograd / DNN training substrate (PyTorch stand-in)
+``repro.data``         datasets, loaders, synthetic CIFAR-10 stand-in
+``repro.models``       MLP, LeNet-5 and the VGG family (VGG11 is the paper's network)
+``repro.accelerator``  systolic array, fault maps, layer mapping, timing & energy models
+``repro.mitigation``   FAP, FAM (SalvageDNN) and FAT baselines
+``repro.core``         the Reduce framework (resilience analysis, selection, retraining)
+``repro.analysis``     Pareto fronts, statistics, ASCII plotting
+``repro.experiments``  runners regenerating every figure of the paper
+
+See ``README.md`` for a quickstart and ``DESIGN.md`` for the full inventory.
+"""
+
+__version__ = "1.0.0"
+
+from repro import nn, data, models, accelerator, mitigation, analysis  # noqa: F401
+from repro import core, experiments  # noqa: F401
+from repro.accelerator import FaultMap, SystolicArray
+from repro.core import (
+    AccuracyConstraint,
+    Chip,
+    ChipPopulation,
+    ReduceConfig,
+    ReduceFramework,
+    ResilienceConfig,
+    ResilienceProfile,
+    FixedEpochPolicy,
+    ResilienceDrivenPolicy,
+)
+from repro.training import Trainer, TrainingConfig, evaluate_accuracy
+
+__all__ = [
+    "__version__",
+    "nn",
+    "data",
+    "models",
+    "accelerator",
+    "mitigation",
+    "analysis",
+    "core",
+    "experiments",
+    "FaultMap",
+    "SystolicArray",
+    "AccuracyConstraint",
+    "Chip",
+    "ChipPopulation",
+    "ReduceConfig",
+    "ReduceFramework",
+    "ResilienceConfig",
+    "ResilienceProfile",
+    "FixedEpochPolicy",
+    "ResilienceDrivenPolicy",
+    "Trainer",
+    "TrainingConfig",
+    "evaluate_accuracy",
+]

@@ -1,0 +1,112 @@
+"""Fault-injection models generating :class:`FaultMap` instances.
+
+A fault model captures *how* permanent faults are distributed over the PE
+array of a fabricated chip.  The paper uses a uniformly random model (as in
+Zhang et al., VTS 2018); clustered and row/column models are provided for the
+sensitivity ablation (experiment A2 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.accelerator.fault_map import FaultMap
+from repro.utils.rng import SeedLike, new_rng
+
+
+class FaultModel:
+    """Base class: sample fault maps for an ``R x C`` array."""
+
+    name: str = "base"
+
+    def sample(self, rows: int, cols: int, fault_rate: float, rng: np.random.Generator) -> FaultMap:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def sample_many(
+        self,
+        rows: int,
+        cols: int,
+        fault_rate: float,
+        count: int,
+        seed: SeedLike = None,
+    ) -> List[FaultMap]:
+        """Sample ``count`` independent fault maps at the same fault rate."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rng = new_rng(seed)
+        return [self.sample(rows, cols, fault_rate, rng) for _ in range(count)]
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+@dataclasses.dataclass
+class RandomFaultModel(FaultModel):
+    """Uniformly random permanent faults (the paper's model).
+
+    ``exact=True`` fixes the number of faulty PEs to ``round(rate * PEs)``.
+    """
+
+    exact: bool = True
+    name: str = "random"
+
+    def sample(self, rows: int, cols: int, fault_rate: float, rng: np.random.Generator) -> FaultMap:
+        return FaultMap.random(rows, cols, fault_rate, seed=rng, exact=self.exact)
+
+
+@dataclasses.dataclass
+class ClusteredFaultModel(FaultModel):
+    """Spatially clustered faults modelling localized manufacturing defects."""
+
+    cluster_size: int = 4
+    name: str = "clustered"
+
+    def sample(self, rows: int, cols: int, fault_rate: float, rng: np.random.Generator) -> FaultMap:
+        return FaultMap.clustered(rows, cols, fault_rate, cluster_size=self.cluster_size, seed=rng)
+
+
+@dataclasses.dataclass
+class RowFaultModel(FaultModel):
+    """Entire rows fail (e.g. broken horizontal interconnect)."""
+
+    name: str = "row"
+
+    def sample(self, rows: int, cols: int, fault_rate: float, rng: np.random.Generator) -> FaultMap:
+        num_rows = int(round(fault_rate * rows))
+        chosen = rng.choice(rows, size=num_rows, replace=False) if num_rows else []
+        return FaultMap.faulty_rows(rows, cols, chosen)
+
+
+@dataclasses.dataclass
+class ColumnFaultModel(FaultModel):
+    """Entire columns fail (e.g. broken weight-load buses)."""
+
+    name: str = "column"
+
+    def sample(self, rows: int, cols: int, fault_rate: float, rng: np.random.Generator) -> FaultMap:
+        num_cols = int(round(fault_rate * cols))
+        chosen = rng.choice(cols, size=num_cols, replace=False) if num_cols else []
+        return FaultMap.faulty_columns(rows, cols, chosen)
+
+
+_FAULT_MODELS = {
+    "random": RandomFaultModel,
+    "clustered": ClusteredFaultModel,
+    "row": RowFaultModel,
+    "column": ColumnFaultModel,
+}
+
+
+def get_fault_model(name: str, **kwargs) -> FaultModel:
+    """Build a fault model by name (``random``, ``clustered``, ``row``, ``column``)."""
+    key = name.lower()
+    if key not in _FAULT_MODELS:
+        raise KeyError(f"unknown fault model {name!r}; available: {', '.join(sorted(_FAULT_MODELS))}")
+    return _FAULT_MODELS[key](**kwargs)
+
+
+def available_fault_models() -> Sequence[str]:
+    return tuple(sorted(_FAULT_MODELS))

@@ -1,0 +1,130 @@
+"""Terminal (ASCII) plotting.
+
+The examples and benchmark harnesses print the paper's figures as text plots
+so that the reproduction is inspectable without matplotlib (which is not
+available in this offline environment).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(values: np.ndarray, low: float, high: float, size: int) -> np.ndarray:
+    if high <= low:
+        return np.zeros(len(values), dtype=int)
+    scaled = (values - low) / (high - low) * (size - 1)
+    return np.clip(np.round(scaled).astype(int), 0, size - 1)
+
+
+def line_plot(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more y(x) series as an ASCII plot."""
+    x = np.asarray(list(x), dtype=float)
+    if x.size == 0 or not series:
+        raise ValueError("line_plot requires x values and at least one series")
+    all_y = np.concatenate([np.asarray(list(ys), dtype=float) for ys in series.values()])
+    x_low, x_high = float(x.min()), float(x.max())
+    y_low, y_high = float(np.nanmin(all_y)), float(np.nanmax(all_y))
+    if y_low == y_high:
+        y_low, y_high = y_low - 0.5, y_high + 0.5
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    for index, (name, ys) in enumerate(series.items()):
+        ys = np.asarray(list(ys), dtype=float)
+        if ys.shape != x.shape:
+            raise ValueError(f"series {name!r} length {ys.shape} does not match x {x.shape}")
+        marker = _MARKERS[index % len(_MARKERS)]
+        cols = _scale(x, x_low, x_high, width)
+        valid = ~np.isnan(ys)
+        rows = _scale(np.where(valid, ys, y_low), y_low, y_high, height)
+        for col, row, ok in zip(cols, rows, valid):
+            if ok:
+                grid[height - 1 - row][col] = marker
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        y_value = y_high - (y_high - y_low) * row_index / (height - 1)
+        lines.append(f"{y_value:8.3f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 9 + f"{x_low:<10.3f}{x_label:^{max(1, width - 20)}}{x_high:>10.3f}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}   (y: {y_label})")
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    points: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render labelled (x, y) point clouds as an ASCII scatter plot."""
+    if not points:
+        raise ValueError("scatter_plot requires at least one point set")
+    all_x = np.concatenate([np.asarray(list(xs), dtype=float) for xs, _ in points.values()])
+    all_y = np.concatenate([np.asarray(list(ys), dtype=float) for _, ys in points.values()])
+    if all_x.size == 0:
+        raise ValueError("scatter_plot requires at least one point")
+    x_low, x_high = float(all_x.min()), float(all_x.max())
+    y_low, y_high = float(all_y.min()), float(all_y.max())
+    if x_low == x_high:
+        x_low, x_high = x_low - 0.5, x_high + 0.5
+    if y_low == y_high:
+        y_low, y_high = y_low - 0.5, y_high + 0.5
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    for index, (name, (xs, ys)) in enumerate(points.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        xs = np.asarray(list(xs), dtype=float)
+        ys = np.asarray(list(ys), dtype=float)
+        cols = _scale(xs, x_low, x_high, width)
+        rows = _scale(ys, y_low, y_high, height)
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = marker
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        y_value = y_high - (y_high - y_low) * row_index / (height - 1)
+        lines.append(f"{y_value:8.3f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 9 + f"{x_low:<10.3f}{x_label:^{max(1, width - 20)}}{x_high:>10.3f}")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}" for i, name in enumerate(points)
+    )
+    lines.append(f"legend: {legend}   (y: {y_label})")
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Render a horizontal ASCII histogram."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("histogram requires at least one value")
+    counts, edges = np.histogram(array, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines = [title] if title else []
+    for count, low, high in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"[{low:8.3f}, {high:8.3f}) {count:5d} |{bar}")
+    return "\n".join(lines)

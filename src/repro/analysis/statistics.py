@@ -1,0 +1,98 @@
+"""Small statistical helpers used when aggregating experiment results."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class SummaryStatistics:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "median": self.median,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: Sequence[float]) -> SummaryStatistics:
+    """Summary statistics of a non-empty sample."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarise an empty sample")
+    return SummaryStatistics(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        minimum=float(array.min()),
+        median=float(np.median(array)),
+        maximum=float(array.max()),
+    )
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float, float]:
+    """Normal-approximation confidence interval ``(mean, low, high)``."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot compute a confidence interval of an empty sample")
+    mean = float(array.mean())
+    if array.size == 1:
+        return mean, mean, mean
+    # Two-sided z-value via the inverse error function.
+    z = math.sqrt(2.0) * _erfinv(confidence)
+    half_width = z * float(array.std(ddof=1)) / math.sqrt(array.size)
+    return mean, mean - half_width, mean + half_width
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function (Winitzki approximation, adequate for CIs)."""
+    if not -1.0 < x < 1.0:
+        raise ValueError("erfinv argument must be in (-1, 1)")
+    a = 0.147
+    ln_term = math.log(1.0 - x * x)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    return math.copysign(math.sqrt(math.sqrt(first * first - ln_term / a) - first), x)
+
+
+def bootstrap_mean_interval(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    num_resamples: int = 1000,
+    seed: Optional[int] = 0,
+) -> Tuple[float, float, float]:
+    """Bootstrap percentile confidence interval of the mean."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    rng = np.random.default_rng(seed)
+    resample_means = rng.choice(array, size=(num_resamples, array.size), replace=True).mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(resample_means, [alpha, 1.0 - alpha])
+    return float(array.mean()), float(low), float(high)
+
+
+def relative_change(baseline: float, value: float) -> float:
+    """Relative change ``(value - baseline) / |baseline|`` (0 when baseline is 0)."""
+    if baseline == 0:
+        return 0.0
+    return (value - baseline) / abs(baseline)

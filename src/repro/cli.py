@@ -1,0 +1,126 @@
+"""Command-line interface: ``repro-reduce``.
+
+Runs the paper's experiments from the terminal and prints the tables/plots
+the figures are built from, e.g.::
+
+    repro-reduce fig2a --preset fast
+    repro-reduce fig3  --preset fast --chips 24
+    repro-reduce all   --preset smoke --output results.json
+
+The CLI is a thin wrapper over :mod:`repro.experiments`; everything it does
+can also be driven from Python (see ``examples/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.core.reporting import campaign_summary_table
+from repro.experiments import (
+    ExperimentContext,
+    available_presets,
+    get_preset,
+    run_fig2a,
+    run_fig2b,
+    run_fig3,
+)
+from repro.utils.logging import set_verbosity
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-reduce",
+        description="Reproduce the experiments of 'Reduce' (DATE 2023).",
+    )
+    parser.add_argument(
+        "command",
+        choices=["fig2a", "fig2b", "fig3", "all", "info"],
+        help="which experiment to run ('info' prints the preset summary)",
+    )
+    parser.add_argument(
+        "--preset",
+        default="fast",
+        choices=list(available_presets()),
+        help="experiment scale (default: fast)",
+    )
+    parser.add_argument("--chips", type=int, default=None, help="override the number of chips (fig3)")
+    parser.add_argument("--output", type=Path, default=None, help="write results as JSON to this path")
+    parser.add_argument("-v", "--verbose", action="count", default=0, help="increase log verbosity")
+    return parser
+
+
+def _result_payload(command: str, result: Any) -> Dict[str, Any]:
+    if command == "fig2a":
+        return {"figure": "2a", "rows": result.rows(), "clean_accuracy": result.clean_accuracy}
+    if command == "fig2b":
+        return {"figure": "2b", "rows": result.rows(), "clean_accuracy": result.clean_accuracy}
+    if command == "fig3":
+        return {"figure": "3", **result.to_dict()}
+    raise ValueError(f"unknown command {command!r}")
+
+
+def _run_command(command: str, context: ExperimentContext, chips: Optional[int]) -> Any:
+    if command == "fig2a":
+        result = run_fig2a(context)
+        print(result.render())
+        return result
+    if command == "fig2b":
+        result = run_fig2b(context)
+        print(result.render())
+        return result
+    if command == "fig3":
+        result = run_fig3(context, num_chips=chips)
+        print(result.summary_table())
+        print()
+        print(result.render_scatter())
+        print()
+        print("Pareto-optimal policies:", ", ".join(result.pareto_policies()))
+        return result
+    raise ValueError(f"unknown command {command!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    set_verbosity(args.verbose)
+
+    preset = get_preset(args.preset)
+    if args.command == "info":
+        print(f"preset: {preset.name}")
+        print(f"  model: {preset.model.name} {preset.model.kwargs}")
+        print(f"  dataset: {preset.dataset}")
+        print(f"  array: {preset.array_rows}x{preset.array_cols}")
+        print(f"  resilience grid: rates={list(preset.fault_rates)} "
+              f"checkpoints={list(preset.epoch_checkpoints)} trials={preset.trials_per_rate}")
+        print(f"  chips: {preset.num_chips} fault rates in {preset.chip_fault_rate_range}")
+        print(f"  constraint: clean accuracy - {preset.constraint_drop:.1%}")
+        return 0
+
+    print(f"[repro-reduce] building context for preset {preset.name!r} "
+          f"(pre-training {preset.model.name}; this runs once per session)...")
+    context = ExperimentContext.from_preset(preset)
+    print(f"[repro-reduce] clean accuracy: {context.clean_accuracy:.3f}, "
+          f"accuracy constraint: {context.target_accuracy():.3f}")
+
+    commands = ["fig2a", "fig2b", "fig3"] if args.command == "all" else [args.command]
+    payloads = []
+    for command in commands:
+        print(f"\n=== {command} ===")
+        result = _run_command(command, context, args.chips)
+        payloads.append(_result_payload(command, result))
+
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        with args.output.open("w", encoding="utf-8") as handle:
+            json.dump(payloads if len(payloads) > 1 else payloads[0], handle, indent=2)
+        print(f"\n[repro-reduce] wrote results to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,125 @@
+"""Retraining-overhead accounting.
+
+The paper's goal is to reduce the *overheads* of fault-aware retraining.  In
+the evaluation those overheads are expressed in epochs; this module converts
+epoch counts into wall-clock time and energy for a given training platform so
+that campaign results can be reported in the units a production flow cares
+about (e.g. "GPU-hours per thousand chips").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.core.reduce import CampaignResult
+
+
+@dataclasses.dataclass(frozen=True)
+class RetrainingCostModel:
+    """Per-epoch cost of fault-aware retraining on the tuning platform.
+
+    Defaults are representative of fine-tuning a VGG11-class network on
+    CIFAR-10 with a single workstation GPU; both values are linear knobs, so
+    any platform can be modelled by overriding them.
+    """
+
+    seconds_per_epoch: float = 30.0
+    joules_per_epoch: float = 7500.0  # ~250 W for 30 s
+    evaluation_seconds: float = 2.0
+    evaluation_joules: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.seconds_per_epoch < 0 or self.joules_per_epoch < 0:
+            raise ValueError("per-epoch costs must be non-negative")
+        if self.evaluation_seconds < 0 or self.evaluation_joules < 0:
+            raise ValueError("per-evaluation costs must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignOverhead:
+    """Aggregate retraining overhead of one campaign under a cost model."""
+
+    policy_name: str
+    num_chips: int
+    total_epochs: float
+    total_evaluations: int
+    retraining_seconds: float
+    evaluation_seconds: float
+    retraining_joules: float
+    evaluation_joules: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.retraining_seconds + self.evaluation_seconds
+
+    @property
+    def total_hours(self) -> float:
+        return self.total_seconds / 3600.0
+
+    @property
+    def total_joules(self) -> float:
+        return self.retraining_joules + self.evaluation_joules
+
+    @property
+    def total_kwh(self) -> float:
+        return self.total_joules / 3.6e6
+
+    @property
+    def seconds_per_chip(self) -> float:
+        return self.total_seconds / max(self.num_chips, 1)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "policy": self.policy_name,
+            "num_chips": self.num_chips,
+            "total_epochs": self.total_epochs,
+            "total_evaluations": self.total_evaluations,
+            "total_hours": self.total_hours,
+            "total_kwh": self.total_kwh,
+            "seconds_per_chip": self.seconds_per_chip,
+        }
+
+
+def campaign_overhead(
+    campaign: CampaignResult,
+    cost_model: Optional[RetrainingCostModel] = None,
+    evaluations_per_chip: int = 1,
+) -> CampaignOverhead:
+    """Overhead of a retraining campaign under a cost model.
+
+    ``evaluations_per_chip`` counts the test-set evaluations the policy needs
+    per chip during Step 3 (1 for Reduce and the fixed policies; the adaptive
+    baseline performs one per increment — pass its measured average).
+    """
+    model = cost_model if cost_model is not None else RetrainingCostModel()
+    if evaluations_per_chip < 0:
+        raise ValueError("evaluations_per_chip must be non-negative")
+    total_epochs = campaign.total_epochs
+    total_evaluations = int(round(evaluations_per_chip * campaign.num_chips))
+    return CampaignOverhead(
+        policy_name=campaign.policy_name,
+        num_chips=campaign.num_chips,
+        total_epochs=total_epochs,
+        total_evaluations=total_evaluations,
+        retraining_seconds=total_epochs * model.seconds_per_epoch,
+        evaluation_seconds=total_evaluations * model.evaluation_seconds,
+        retraining_joules=total_epochs * model.joules_per_epoch,
+        evaluation_joules=total_evaluations * model.evaluation_joules,
+    )
+
+
+def overhead_saving(
+    proposed: CampaignOverhead, baseline: CampaignOverhead
+) -> Dict[str, float]:
+    """Relative savings of ``proposed`` vs ``baseline`` (positive = cheaper)."""
+    def _saving(new: float, old: float) -> float:
+        if old <= 0:
+            return 0.0
+        return 1.0 - new / old
+
+    return {
+        "epochs_saving": _saving(proposed.total_epochs, baseline.total_epochs),
+        "time_saving": _saving(proposed.total_seconds, baseline.total_seconds),
+        "energy_saving": _saving(proposed.total_joules, baseline.total_joules),
+    }

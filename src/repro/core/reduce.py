@@ -1,0 +1,348 @@
+"""The Reduce framework: orchestration of Steps 1-3.
+
+``ReduceFramework`` ties everything together exactly as in Fig. 1 of the
+paper: given a pre-trained DNN, a dataset, a user-defined accuracy constraint
+and the fault maps of the faulty chips, it
+
+1. computes the DNN's resilience to faults at different fault rates and
+   amounts of retraining (:class:`~repro.core.resilience.ResilienceAnalyzer`),
+2. selects the retraining amount for each chip from the resilience profile
+   (:class:`~repro.core.selection.ResilienceDrivenPolicy`), and
+3. performs fault-aware retraining per chip and returns the fault-aware DNNs
+   together with the bookkeeping needed to reproduce Fig. 3
+   (:class:`CampaignResult`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro import nn
+from repro.accelerator.systolic_array import SystolicArray
+from repro.core.chips import Chip, ChipPopulation
+from repro.core.constraints import AccuracyConstraint
+from repro.core.profiles import ResilienceProfile
+from repro.core.resilience import ResilienceAnalyzer, ResilienceConfig
+from repro.core.selection import FixedEpochPolicy, ResilienceDrivenPolicy, RetrainingPolicy
+from repro.data.synthetic import DatasetBundle
+from repro.mitigation.fap import build_fap_masks
+from repro.nn.serialization import clone_state_dict
+from repro.training import Trainer, TrainingConfig, evaluate_accuracy
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_seed
+
+logger = get_logger("core.reduce")
+
+
+@dataclasses.dataclass(frozen=True)
+class ChipRetrainingResult:
+    """Per-chip outcome of a retraining campaign (one point of Fig. 3a-e)."""
+
+    chip_id: str
+    fault_rate: float
+    epochs_allocated: float
+    epochs_trained: float
+    accuracy_before: float
+    accuracy_after: float
+    meets_constraint: bool
+    masked_weight_fraction: float
+
+    @property
+    def accuracy_recovered(self) -> float:
+        return self.accuracy_after - self.accuracy_before
+
+
+@dataclasses.dataclass
+class CampaignResult:
+    """Aggregate outcome of retraining a whole chip population under one policy."""
+
+    policy_name: str
+    target_accuracy: float
+    clean_accuracy: float
+    results: List[ChipRetrainingResult]
+
+    def __post_init__(self) -> None:
+        if not self.results:
+            raise ValueError("a campaign result must contain at least one chip result")
+
+    # -- per-chip views -------------------------------------------------------
+
+    @property
+    def num_chips(self) -> int:
+        return len(self.results)
+
+    def epochs(self) -> np.ndarray:
+        """Per-chip retraining amounts actually spent (scatter y-axis of Fig. 3)."""
+        return np.array([result.epochs_trained for result in self.results])
+
+    def accuracies(self) -> np.ndarray:
+        """Per-chip final accuracies (scatter x-axis of Fig. 3)."""
+        return np.array([result.accuracy_after for result in self.results])
+
+    def fault_rates(self) -> np.ndarray:
+        return np.array([result.fault_rate for result in self.results])
+
+    # -- aggregates ------------------------------------------------------------
+
+    @property
+    def average_epochs(self) -> float:
+        """Average retraining epochs per chip (x-axis of Fig. 3f)."""
+        return float(self.epochs().mean())
+
+    @property
+    def total_epochs(self) -> float:
+        """Total retraining cost over the whole population."""
+        return float(self.epochs().sum())
+
+    @property
+    def fraction_meeting_constraint(self) -> float:
+        """Fraction of chips meeting the accuracy constraint (y-axis of Fig. 3f)."""
+        return float(np.mean([result.meets_constraint for result in self.results]))
+
+    @property
+    def percent_meeting_constraint(self) -> float:
+        return 100.0 * self.fraction_meeting_constraint
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(self.accuracies().mean())
+
+    @property
+    def worst_accuracy(self) -> float:
+        return float(self.accuracies().min())
+
+    def summary(self) -> Dict[str, float]:
+        """The row this policy contributes to Fig. 3f."""
+        return {
+            "policy": self.policy_name,
+            "num_chips": self.num_chips,
+            "target_accuracy": self.target_accuracy,
+            "average_epochs": self.average_epochs,
+            "total_epochs": self.total_epochs,
+            "percent_meeting_constraint": self.percent_meeting_constraint,
+            "mean_accuracy": self.mean_accuracy,
+            "worst_accuracy": self.worst_accuracy,
+        }
+
+    def scatter_points(self) -> List[Dict[str, float]]:
+        """(accuracy, epochs) pairs for the Fig. 3a-e style scatter plots."""
+        return [
+            {
+                "chip_id": result.chip_id,
+                "accuracy": result.accuracy_after,
+                "epochs": result.epochs_trained,
+                "fault_rate": result.fault_rate,
+                "meets_constraint": float(result.meets_constraint),
+            }
+            for result in self.results
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "policy_name": self.policy_name,
+            "target_accuracy": self.target_accuracy,
+            "clean_accuracy": self.clean_accuracy,
+            "summary": self.summary(),
+            "chips": [dataclasses.asdict(result) for result in self.results],
+        }
+
+
+@dataclasses.dataclass
+class ReduceConfig:
+    """Top-level configuration of the Reduce framework."""
+
+    constraint: AccuracyConstraint = dataclasses.field(
+        default_factory=lambda: AccuracyConstraint.within_drop_of_clean(0.02)
+    )
+    resilience: ResilienceConfig = dataclasses.field(default_factory=ResilienceConfig)
+    retraining: Optional[TrainingConfig] = None
+    statistic: str = "max"
+    interpolation: str = "ceil"
+    margin_epochs: float = 0.0
+
+    def effective_retraining_config(self) -> TrainingConfig:
+        """Training hyper-parameters used for per-chip retraining (Step 3)."""
+        return self.retraining if self.retraining is not None else self.resilience.training
+
+
+class ReduceFramework:
+    """End-to-end implementation of the Reduce flow (Fig. 1 of the paper)."""
+
+    def __init__(
+        self,
+        model: nn.Module,
+        pretrained_state: Dict[str, np.ndarray],
+        bundle: DatasetBundle,
+        array: SystolicArray,
+        config: Optional[ReduceConfig] = None,
+    ) -> None:
+        self.model = model
+        self.pretrained_state = clone_state_dict(pretrained_state)
+        self.bundle = bundle
+        self.array = array
+        self.config = config if config is not None else ReduceConfig()
+        self._profile: Optional[ResilienceProfile] = None
+        self._clean_accuracy: Optional[float] = None
+
+    # -- shared helpers -----------------------------------------------------------
+
+    def _restore_pretrained(self) -> None:
+        self.model.load_state_dict(self.pretrained_state)
+
+    @property
+    def clean_accuracy(self) -> float:
+        """Accuracy of the pre-trained model on a fault-free chip."""
+        if self._clean_accuracy is None:
+            self._restore_pretrained()
+            self._clean_accuracy = evaluate_accuracy(self.model, self.bundle.test)
+        return self._clean_accuracy
+
+    @property
+    def target_accuracy(self) -> float:
+        """The accuracy constraint resolved to an absolute threshold."""
+        return self.config.constraint.resolve(self.clean_accuracy)
+
+    # -- Step 1: resilience analysis -----------------------------------------------
+
+    def analyze_resilience(self, force: bool = False) -> ResilienceProfile:
+        """Run (or return the cached) resilience analysis."""
+        if self._profile is None or force:
+            analyzer = ResilienceAnalyzer(
+                self.model,
+                self.pretrained_state,
+                self.bundle,
+                self.array,
+                self.config.resilience,
+            )
+            self._profile = analyzer.run()
+            self._clean_accuracy = self._profile.clean_accuracy
+        return self._profile
+
+    def set_profile(self, profile: ResilienceProfile) -> None:
+        """Inject a pre-computed resilience profile (e.g. loaded from disk)."""
+        self._profile = profile
+        self._clean_accuracy = profile.clean_accuracy
+
+    # -- Step 2: retraining-amount selection -----------------------------------------
+
+    def build_policy(self, statistic: Optional[str] = None) -> ResilienceDrivenPolicy:
+        """The resilience-driven selection policy backed by the Step-1 profile."""
+        profile = self.analyze_resilience()
+        return ResilienceDrivenPolicy(
+            profile=profile,
+            constraint=self.config.constraint,
+            statistic=statistic if statistic is not None else self.config.statistic,
+            interpolation=self.config.interpolation,
+            margin_epochs=self.config.margin_epochs,
+        )
+
+    def select_retraining_amounts(
+        self, population: ChipPopulation, statistic: Optional[str] = None
+    ) -> Dict[str, float]:
+        """Per-chip retraining amounts (Step 2 output)."""
+        return self.build_policy(statistic).epochs_for_population(population)
+
+    # -- Step 3: per-chip fault-aware retraining ---------------------------------------
+
+    def retrain_chip(
+        self,
+        chip: Chip,
+        epochs: float,
+        return_state: bool = False,
+    ) -> Union[ChipRetrainingResult, tuple]:
+        """Retrain the pre-trained model for one chip's fault map.
+
+        The framework model is restored to its pre-trained weights first, so
+        repeated calls are independent.  With ``return_state=True`` the
+        fault-aware weights (the DNN shipped to that chip) are returned too.
+        """
+        if epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        self._restore_pretrained()
+        masks = build_fap_masks(self.model, chip.fault_map)
+        training_config = dataclasses.replace(
+            self.config.effective_retraining_config(),
+            seed=derive_seed(self.config.resilience.seed, "chip", chip.chip_id),
+        )
+        trainer = Trainer(
+            self.model,
+            self.bundle.train,
+            self.bundle.test,
+            config=training_config,
+            masks=masks,
+        )
+        accuracy_before = trainer.evaluate()
+        if epochs > 0:
+            history = trainer.train(epochs, include_initial=False)
+            accuracy_after = history.final_accuracy
+            epochs_trained = history.total_epochs
+        else:
+            accuracy_after = accuracy_before
+            epochs_trained = 0.0
+        masked = sum(int(mask.sum()) for mask in masks.values())
+        total = sum(mask.size for mask in masks.values())
+        result = ChipRetrainingResult(
+            chip_id=chip.chip_id,
+            fault_rate=chip.fault_rate,
+            epochs_allocated=float(epochs),
+            epochs_trained=float(epochs_trained),
+            accuracy_before=accuracy_before,
+            accuracy_after=accuracy_after,
+            meets_constraint=accuracy_after >= self.target_accuracy - 1e-12,
+            masked_weight_fraction=masked / total if total else 0.0,
+        )
+        if return_state:
+            return result, clone_state_dict(self.model.state_dict())
+        return result
+
+    def retrain_population(
+        self,
+        population: ChipPopulation,
+        policy: RetrainingPolicy,
+        progress: bool = False,
+    ) -> CampaignResult:
+        """Run Step 3 for every chip under an arbitrary retraining policy."""
+        amounts = policy.epochs_for_population(population)
+        results: List[ChipRetrainingResult] = []
+        for chip in population:
+            result = self.retrain_chip(chip, amounts[chip.chip_id])
+            results.append(result)
+            if progress:
+                logger.info(
+                    "chip %s: rate=%.3f epochs=%.3f acc=%.3f meets=%s",
+                    chip.chip_id,
+                    result.fault_rate,
+                    result.epochs_trained,
+                    result.accuracy_after,
+                    result.meets_constraint,
+                )
+        return CampaignResult(
+            policy_name=policy.name,
+            target_accuracy=self.target_accuracy,
+            clean_accuracy=self.clean_accuracy,
+            results=results,
+        )
+
+    # -- end-to-end -----------------------------------------------------------------
+
+    def run(
+        self,
+        population: ChipPopulation,
+        statistic: Optional[str] = None,
+        progress: bool = False,
+    ) -> CampaignResult:
+        """Steps 1 + 2 + 3 for a chip population with the Reduce policy."""
+        policy = self.build_policy(statistic)
+        return self.retrain_population(population, policy, progress=progress)
+
+    def run_fixed_policy(
+        self,
+        population: ChipPopulation,
+        epochs: float,
+        progress: bool = False,
+    ) -> CampaignResult:
+        """The state-of-the-art baseline: fixed retraining amount per chip."""
+        return self.retrain_population(population, FixedEpochPolicy(epochs), progress=progress)

@@ -1,0 +1,154 @@
+"""Experiment context: dataset + pre-trained model + accelerator, with caching.
+
+Every figure runner starts from the same ingredients (Fig. 1 inputs): a
+pre-trained DNN, a dataset, a systolic array and an accuracy constraint.
+``ExperimentContext.from_preset`` builds them once; pre-training results are
+cached in memory (keyed by the preset) so that running several figure
+benchmarks in one session does not repeat the expensive pre-training step.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import nn
+from repro.accelerator.systolic_array import SystolicArray
+from repro.core.constraints import AccuracyConstraint
+from repro.core.reduce import ReduceConfig, ReduceFramework
+from repro.core.profiles import ResilienceProfile
+from repro.data.synthetic import DatasetBundle, make_class_template_images
+from repro.experiments.presets import ExperimentPreset
+from repro.models.registry import build_model
+from repro.nn.serialization import clone_state_dict
+from repro.training import Trainer, evaluate_accuracy
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_seed
+
+logger = get_logger("experiments.common")
+
+# In-memory cache of pre-trained contexts, keyed by a preset fingerprint.
+_CONTEXT_CACHE: Dict[str, "ExperimentContext"] = {}
+
+
+def _preset_fingerprint(preset: ExperimentPreset) -> str:
+    from repro.utils.config import config_to_dict
+    import hashlib
+    import json
+
+    payload = json.dumps(config_to_dict(preset), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def build_dataset(preset: ExperimentPreset) -> DatasetBundle:
+    """Build the synthetic dataset described by the preset."""
+    spec = preset.dataset
+    return make_class_template_images(
+        num_classes=spec.num_classes,
+        train_per_class=spec.train_per_class,
+        test_per_class=spec.test_per_class,
+        image_size=spec.image_size,
+        channels=spec.channels,
+        noise_std=spec.noise_std,
+        shift_pixels=spec.shift_pixels,
+        seed=spec.seed,
+        name=f"{preset.name}-synthetic",
+    )
+
+
+@dataclasses.dataclass
+class ExperimentContext:
+    """The shared inputs of every experiment (Fig. 1 of the paper)."""
+
+    preset: ExperimentPreset
+    bundle: DatasetBundle
+    model: nn.Module
+    pretrained_state: Dict[str, np.ndarray]
+    array: SystolicArray
+    clean_accuracy: float
+    _profile: Optional[ResilienceProfile] = None
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_preset(cls, preset: ExperimentPreset, use_cache: bool = True) -> "ExperimentContext":
+        """Build (or fetch from the in-memory cache) the context for a preset."""
+        fingerprint = _preset_fingerprint(preset)
+        if use_cache and fingerprint in _CONTEXT_CACHE:
+            return _CONTEXT_CACHE[fingerprint]
+
+        bundle = build_dataset(preset)
+        model = build_model(
+            preset.model.name,
+            input_shape=bundle.input_shape,
+            num_classes=bundle.num_classes,
+            seed=preset.model.seed,
+            **preset.model.kwargs,
+        )
+        logger.info("pre-training %s on %s for %.1f epochs", preset.model.name, bundle.name, preset.pretrain_epochs)
+        trainer = Trainer(model, bundle.train, bundle.test, config=preset.pretrain)
+        trainer.train(preset.pretrain_epochs, include_initial=False)
+        clean_accuracy = evaluate_accuracy(model, bundle.test)
+        context = cls(
+            preset=preset,
+            bundle=bundle,
+            model=model,
+            pretrained_state=clone_state_dict(model.state_dict()),
+            array=SystolicArray(preset.array_rows, preset.array_cols),
+            clean_accuracy=clean_accuracy,
+        )
+        if use_cache:
+            _CONTEXT_CACHE[fingerprint] = context
+        return context
+
+    # -- derived objects -----------------------------------------------------------
+
+    def constraint(self) -> AccuracyConstraint:
+        return self.preset.constraint()
+
+    def target_accuracy(self) -> float:
+        return self.constraint().resolve(self.clean_accuracy)
+
+    def reduce_config(self) -> ReduceConfig:
+        return ReduceConfig(
+            constraint=self.constraint(),
+            resilience=self.preset.resilience_config(),
+            retraining=self.preset.retraining,
+        )
+
+    def framework(self) -> ReduceFramework:
+        """A fresh :class:`ReduceFramework` over this context's inputs."""
+        framework = ReduceFramework(
+            self.model,
+            self.pretrained_state,
+            self.bundle,
+            self.array,
+            config=self.reduce_config(),
+        )
+        if self._profile is not None:
+            framework.set_profile(self._profile)
+        return framework
+
+    def resilience_profile(self, force: bool = False) -> ResilienceProfile:
+        """The (cached) Step-1 resilience profile for this context."""
+        if self._profile is None or force:
+            framework = ReduceFramework(
+                self.model,
+                self.pretrained_state,
+                self.bundle,
+                self.array,
+                config=self.reduce_config(),
+            )
+            self._profile = framework.analyze_resilience()
+        return self._profile
+
+    def restore_pretrained(self) -> None:
+        """Reset the shared model to the pre-trained weights."""
+        self.model.load_state_dict(self.pretrained_state)
+
+
+def clear_context_cache() -> None:
+    """Drop every cached experiment context (mainly for tests)."""
+    _CONTEXT_CACHE.clear()

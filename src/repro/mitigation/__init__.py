@@ -1,0 +1,49 @@
+"""Permanent-fault mitigation techniques: FAP, FAM and FAT.
+
+These are the baselines / building blocks the Reduce framework orchestrates:
+
+* :mod:`repro.mitigation.fap` — Fault-Aware Pruning (zero weights mapped onto
+  faulty PEs),
+* :mod:`repro.mitigation.fam` — Fault-Aware Mapping (SalvageDNN-style
+  saliency-driven column permutation before pruning),
+* :mod:`repro.mitigation.fat` — Fault-Aware Training (retraining with masks
+  enforced), whose cost Reduce minimises.
+"""
+
+from repro.mitigation.saliency import (
+    magnitude_saliency,
+    squared_saliency,
+    get_saliency_metric,
+    output_channel_saliency,
+    model_channel_saliency,
+)
+from repro.mitigation.fap import FapResult, build_fap_masks, apply_fap, verify_masks_enforced
+from repro.mitigation.fam import (
+    FamResult,
+    layer_column_permutation,
+    compute_column_permutations,
+    apply_fam,
+)
+from repro.mitigation.fat import FatResult, FaultAwareTrainer, fault_aware_retrain
+from repro.mitigation.calibration import recalibrate_batchnorm, reset_batchnorm_stats
+
+__all__ = [
+    "recalibrate_batchnorm",
+    "reset_batchnorm_stats",
+    "magnitude_saliency",
+    "squared_saliency",
+    "get_saliency_metric",
+    "output_channel_saliency",
+    "model_channel_saliency",
+    "FapResult",
+    "build_fap_masks",
+    "apply_fap",
+    "verify_masks_enforced",
+    "FamResult",
+    "layer_column_permutation",
+    "compute_column_permutations",
+    "apply_fam",
+    "FatResult",
+    "FaultAwareTrainer",
+    "fault_aware_retrain",
+]

@@ -1,0 +1,88 @@
+"""Batch-norm statistics recalibration after fault-aware pruning.
+
+Zeroing weights changes the activation statistics of every subsequent layer,
+so a batch-norm network evaluated with its *pre-fault* running statistics can
+look much worse than it really is.  Recalibrating the running statistics with
+a handful of forward passes (no gradient computation, no label usage) is a
+cheap way to recover part of that gap before any retraining — and it composes
+with FAT, which then starts from a better operating point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro import nn
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import Dataset
+
+
+def reset_batchnorm_stats(model: nn.Module) -> int:
+    """Reset every BatchNorm layer's running statistics to the identity.
+
+    Returns the number of batch-norm layers reset.
+    """
+    count = 0
+    for module in model.modules():
+        if isinstance(module, nn.BatchNorm2d):  # BatchNorm1d subclasses BatchNorm2d
+            module.running_mean = np.zeros(module.num_features, dtype=np.float32)
+            module.running_var = np.ones(module.num_features, dtype=np.float32)
+            count += 1
+    return count
+
+
+def recalibrate_batchnorm(
+    model: nn.Module,
+    data: Union[Dataset, DataLoader],
+    num_batches: Optional[int] = None,
+    batch_size: int = 64,
+    reset: bool = True,
+    momentum: Optional[float] = 0.1,
+) -> int:
+    """Recompute batch-norm running statistics with label-free forward passes.
+
+    Parameters
+    ----------
+    data:
+        Dataset or loader providing calibration inputs (labels are ignored).
+    num_batches:
+        Number of batches to stream through the model (``None`` = all).
+    reset:
+        Reset the running statistics before recalibration so that stale
+        pre-fault statistics do not linger.
+    momentum:
+        Temporary batch-norm momentum used during calibration; ``None`` keeps
+        each layer's configured momentum.
+
+    Returns the number of batches used.  The model's train/eval mode is
+    restored afterwards.
+    """
+    bn_layers = [m for m in model.modules() if isinstance(m, nn.BatchNorm2d)]
+    if not bn_layers:
+        return 0
+    if reset:
+        reset_batchnorm_stats(model)
+
+    loader = data if isinstance(data, DataLoader) else DataLoader(data, batch_size=batch_size)
+    was_training = model.training
+    original_momenta = [layer.momentum for layer in bn_layers]
+    if momentum is not None:
+        for layer in bn_layers:
+            layer.momentum = momentum
+
+    model.train()
+    batches_used = 0
+    try:
+        with nn.no_grad():
+            for inputs, _targets in loader:
+                model(inputs)
+                batches_used += 1
+                if num_batches is not None and batches_used >= num_batches:
+                    break
+    finally:
+        for layer, original in zip(bn_layers, original_momenta):
+            layer.momentum = original
+        model.train(was_training)
+    return batches_used

@@ -1,0 +1,84 @@
+"""Fault-Aware Pruning (FAP), after Zhang et al. (VTS 2018).
+
+FAP exploits the intrinsic resilience of DNNs to pruning: a faulty PE's MAC
+is bypassed in hardware, which is functionally equivalent to forcing every
+weight mapped onto that PE to zero.  The accelerator keeps its full
+throughput (unlike row/column bypass) at the cost of some accuracy loss —
+which Fault-Aware Training (:mod:`repro.mitigation.fat`) then recovers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import nn
+from repro.accelerator.fault_map import FaultMap
+from repro.accelerator.mapping import masked_weight_fraction, model_fault_masks
+from repro.accelerator.systolic_array import SystolicArray
+from repro.training import apply_weight_masks
+
+MaskDict = Dict[str, np.ndarray]
+
+
+@dataclasses.dataclass(frozen=True)
+class FapResult:
+    """Outcome of applying fault-aware pruning to a model."""
+
+    masks: MaskDict
+    masked_fraction: float
+    per_layer_fraction: Dict[str, float]
+
+    @property
+    def num_masked_weights(self) -> int:
+        return sum(int(mask.sum()) for mask in self.masks.values())
+
+    @property
+    def num_total_weights(self) -> int:
+        return sum(mask.size for mask in self.masks.values())
+
+
+def build_fap_masks(
+    model: nn.Module,
+    fault_map_or_array,
+    column_permutations: Optional[Dict[str, np.ndarray]] = None,
+) -> MaskDict:
+    """Per-layer boolean masks (True = weight mapped onto a faulty PE)."""
+    return model_fault_masks(model, fault_map_or_array, column_permutations)
+
+
+def apply_fap(
+    model: nn.Module,
+    fault_map_or_array,
+    column_permutations: Optional[Dict[str, np.ndarray]] = None,
+) -> FapResult:
+    """Apply fault-aware pruning to ``model`` in place.
+
+    The weights selected by the fault map are zeroed and the masks are
+    returned so that fault-aware training can keep them clamped at zero.
+    """
+    masks = build_fap_masks(model, fault_map_or_array, column_permutations)
+    apply_weight_masks(model, masks)
+    per_layer = {
+        name: (float(mask.sum()) / mask.size if mask.size else 0.0) for name, mask in masks.items()
+    }
+    return FapResult(
+        masks=masks,
+        masked_fraction=masked_weight_fraction(masks),
+        per_layer_fraction=per_layer,
+    )
+
+
+def verify_masks_enforced(model: nn.Module, masks: MaskDict, atol: float = 0.0) -> bool:
+    """Check that every masked weight of ``model`` is (still) zero."""
+    modules = dict(model.named_modules())
+    for name, mask in masks.items():
+        module = modules.get(name)
+        if module is None or getattr(module, "weight", None) is None:
+            return False
+        values = module.weight.data[mask]
+        if values.size and not np.all(np.abs(values) <= atol):
+            return False
+    return True

@@ -1,0 +1,20 @@
+"""Model zoo: MLP, LeNet-5 and the VGG family used in the paper."""
+
+from repro.models.mlp import MLP
+from repro.models.lenet import LeNet5
+from repro.models.vgg import VGG, VGG_CONFIGS, vgg11, vgg11_mini, vgg13, vgg16
+from repro.models.registry import available_models, build_model, register_model
+
+__all__ = [
+    "MLP",
+    "LeNet5",
+    "VGG",
+    "VGG_CONFIGS",
+    "vgg11",
+    "vgg11_mini",
+    "vgg13",
+    "vgg16",
+    "available_models",
+    "build_model",
+    "register_model",
+]

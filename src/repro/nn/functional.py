@@ -1,0 +1,465 @@
+"""Functional (stateless) neural-network operations.
+
+The convolution and pooling operators are implemented as fused autograd
+:class:`~repro.nn.tensor.Function` subclasses using an im2col formulation.
+This mirrors how a systolic-array accelerator executes a convolution: the
+layer is lowered to a GEMM whose weight matrix has shape
+``(out_channels, in_channels * kh * kw)``, which is exactly the matrix the
+fault-aware pruning masks in :mod:`repro.accelerator.mapping` are generated
+for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn.tensor import Function, Tensor, as_tensor
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        if len(value) != 2:
+            raise ValueError(f"expected a pair, got {value}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+# ---------------------------------------------------------------------------
+# im2col helpers
+# ---------------------------------------------------------------------------
+
+
+def im2col(
+    x: np.ndarray,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, int, int]:
+    """Lower an NCHW activation tensor into a GEMM operand.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(N * out_h * out_w, C * kh * kw)``.
+    """
+    kh, kw = kernel_size
+    sh, sw = stride
+    ph, pw = padding
+    n, c, h, w = x.shape
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    padded_h, padded_w = h + 2 * ph, w + 2 * pw
+    if padded_h < kh or padded_w < kw:
+        raise ValueError(
+            f"kernel {kernel_size} larger than padded input ({padded_h}, {padded_w})"
+        )
+    out_h = (padded_h - kh) // sh + 1
+    out_w = (padded_w - kw) // sw + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::sh, ::sw, :, :]
+    # (n, c, out_h, out_w, kh, kw) -> (n, out_h, out_w, c, kh, kw)
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kh * kw)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Scatter-add the inverse of :func:`im2col` (used by the conv backward)."""
+    kh, kw = kernel_size
+    sh, sw = stride
+    ph, pw = padding
+    n, c, h, w = x_shape
+    padded_h, padded_w = h + 2 * ph, w + 2 * pw
+    dx = np.zeros((n, c, padded_h, padded_w), dtype=cols.dtype)
+    cols = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    for i in range(kh):
+        for j in range(kw):
+            dx[:, :, i:i + sh * out_h:sh, j:j + sw * out_w:sw] += cols[:, :, :, :, i, j]
+    if ph or pw:
+        dx = dx[:, :, ph:ph + h, pw:pw + w]
+    return dx
+
+
+# ---------------------------------------------------------------------------
+# Convolution
+# ---------------------------------------------------------------------------
+
+
+class Conv2dFunction(Function):
+    """2-D convolution via im2col, with full backward support."""
+
+    def forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,
+        bias: Optional[np.ndarray],
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+    ) -> np.ndarray:
+        out_channels, in_channels, kh, kw = weight.shape
+        if x.shape[1] != in_channels:
+            raise ValueError(
+                f"input has {x.shape[1]} channels but weight expects {in_channels}"
+            )
+        cols, out_h, out_w = im2col(x, (kh, kw), stride, padding)
+        weight_matrix = weight.reshape(out_channels, -1)
+        out = cols @ weight_matrix.T
+        if bias is not None:
+            out = out + bias
+        n = x.shape[0]
+        out = out.reshape(n, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
+        self.save_for_backward(
+            cols, weight, x.shape, (kh, kw), stride, padding, out_h, out_w, bias is not None
+        )
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad_output: np.ndarray):
+        cols, weight, x_shape, kernel, stride, padding, out_h, out_w, has_bias = self.saved
+        out_channels = weight.shape[0]
+        n = x_shape[0]
+        # (n, O, oh, ow) -> (n * oh * ow, O)
+        grad_2d = grad_output.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, out_channels)
+        weight_matrix = weight.reshape(out_channels, -1)
+        grad_weight = (grad_2d.T @ cols).reshape(weight.shape)
+        grad_cols = grad_2d @ weight_matrix
+        grad_x = col2im(grad_cols, x_shape, kernel, stride, padding, out_h, out_w)
+        if has_bias:
+            grad_bias = grad_2d.sum(axis=0)
+            return grad_x, grad_weight, grad_bias
+        return grad_x, grad_weight
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Optional[Tensor] = None,
+    stride: IntPair = 1,
+    padding: IntPair = 0,
+) -> Tensor:
+    """Differentiable 2-D convolution over an NCHW tensor."""
+    stride = _pair(stride)
+    padding = _pair(padding)
+    if bias is None:
+        return Conv2dFunction.apply(x, weight, None, stride, padding)
+    return Conv2dFunction.apply(x, weight, bias, stride, padding)
+
+
+# ---------------------------------------------------------------------------
+# Pooling
+# ---------------------------------------------------------------------------
+
+
+class MaxPool2dFunction(Function):
+    def forward(
+        self,
+        x: np.ndarray,
+        kernel_size: Tuple[int, int],
+        stride: Tuple[int, int],
+    ) -> np.ndarray:
+        kh, kw = kernel_size
+        sh, sw = stride
+        n, c, h, w = x.shape
+        out_h = (h - kh) // sh + 1
+        out_w = (w - kw) // sw + 1
+        windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+        windows = windows[:, :, ::sh, ::sw, :, :]
+        flat = windows.reshape(n, c, out_h, out_w, kh * kw)
+        argmax = flat.argmax(axis=-1)
+        out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+        self.save_for_backward(x.shape, kernel_size, stride, argmax, out_h, out_w)
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad_output: np.ndarray):
+        x_shape, (kh, kw), (sh, sw), argmax, out_h, out_w = self.saved
+        n, c, h, w = x_shape
+        dx = np.zeros(x_shape, dtype=grad_output.dtype)
+        # Convert flat within-window argmax to absolute coordinates.
+        win_row = argmax // kw
+        win_col = argmax % kw
+        base_rows = (np.arange(out_h) * sh)[None, None, :, None]
+        base_cols = (np.arange(out_w) * sw)[None, None, None, :]
+        rows = base_rows + win_row
+        cols = base_cols + win_col
+        n_idx = np.arange(n)[:, None, None, None]
+        c_idx = np.arange(c)[None, :, None, None]
+        n_b, c_b, rows_b, cols_b = np.broadcast_arrays(n_idx, c_idx, rows, cols)
+        np.add.at(dx, (n_b.ravel(), c_b.ravel(), rows_b.ravel(), cols_b.ravel()), grad_output.ravel())
+        return (dx,)
+
+
+def max_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Max pooling over the spatial dimensions of an NCHW tensor."""
+    kernel = _pair(kernel_size)
+    stride_pair = _pair(stride) if stride is not None else kernel
+    return MaxPool2dFunction.apply(x, kernel, stride_pair)
+
+
+class AvgPool2dFunction(Function):
+    def forward(
+        self,
+        x: np.ndarray,
+        kernel_size: Tuple[int, int],
+        stride: Tuple[int, int],
+    ) -> np.ndarray:
+        kh, kw = kernel_size
+        sh, sw = stride
+        windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+        windows = windows[:, :, ::sh, ::sw, :, :]
+        out = windows.mean(axis=(-2, -1))
+        self.save_for_backward(x.shape, kernel_size, stride, out.shape)
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad_output: np.ndarray):
+        x_shape, (kh, kw), (sh, sw), out_shape = self.saved
+        n, c, out_h, out_w = out_shape
+        dx = np.zeros(x_shape, dtype=grad_output.dtype)
+        scaled = grad_output / (kh * kw)
+        for i in range(kh):
+            for j in range(kw):
+                dx[:, :, i:i + sh * out_h:sh, j:j + sw * out_w:sw] += scaled
+        return (dx,)
+
+
+def avg_pool2d(x: Tensor, kernel_size: IntPair, stride: Optional[IntPair] = None) -> Tensor:
+    """Average pooling over the spatial dimensions of an NCHW tensor."""
+    kernel = _pair(kernel_size)
+    stride_pair = _pair(stride) if stride is not None else kernel
+    return AvgPool2dFunction.apply(x, kernel, stride_pair)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over all spatial positions, returning an ``(N, C)`` tensor."""
+    return x.mean(axis=(2, 3))
+
+
+# ---------------------------------------------------------------------------
+# Normalisation, dropout and activations
+# ---------------------------------------------------------------------------
+
+
+def batch_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: Optional[np.ndarray],
+    running_var: Optional[np.ndarray],
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tuple[Tensor, Optional[np.ndarray], Optional[np.ndarray]]:
+    """Batch normalisation over an ``(N, C)`` or ``(N, C, H, W)`` tensor.
+
+    Returns ``(output, new_running_mean, new_running_var)``.  In training mode
+    the batch statistics participate in the autograd graph (the standard
+    batch-norm backward); in eval mode the running statistics are used as
+    constants.
+    """
+    if x.ndim == 4:
+        reduce_axes = (0, 2, 3)
+        param_shape = (1, -1, 1, 1)
+    elif x.ndim == 2:
+        reduce_axes = (0,)
+        param_shape = (1, -1)
+    else:
+        raise ValueError(f"batch_norm expects a 2-D or 4-D input, got {x.ndim}-D")
+
+    gamma_b = gamma.reshape(*param_shape)
+    beta_b = beta.reshape(*param_shape)
+
+    if training:
+        mean = x.mean(axis=reduce_axes, keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=reduce_axes, keepdims=True)
+        inv_std = (var + eps) ** -0.5
+        normalised = centered * inv_std
+        out = normalised * gamma_b + beta_b
+        new_mean = running_mean
+        new_var = running_var
+        if running_mean is not None and running_var is not None:
+            batch_mean = mean.data.reshape(-1)
+            reduce_count = int(np.prod([x.shape[a] for a in reduce_axes]))
+            bessel = reduce_count / max(reduce_count - 1, 1)
+            batch_var = var.data.reshape(-1) * bessel
+            new_mean = (1 - momentum) * running_mean + momentum * batch_mean
+            new_var = (1 - momentum) * running_var + momentum * batch_var
+        return out, new_mean, new_var
+
+    if running_mean is None or running_var is None:
+        raise ValueError("eval-mode batch_norm requires running statistics")
+    mean_const = running_mean.reshape(param_shape)
+    var_const = running_var.reshape(param_shape)
+    scale = gamma_b * (1.0 / np.sqrt(var_const + eps))
+    out = (x - mean_const) * scale + beta_b
+    return out, running_mean, running_var
+
+
+def dropout(
+    x: Tensor,
+    p: float,
+    training: bool,
+    rng: Optional[np.random.Generator] = None,
+) -> Tensor:
+    """Inverted dropout: zero activations with probability ``p`` during training."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    generator = rng if rng is not None else np.random.default_rng()
+    mask = (generator.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    return x * mask
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x.softmax(axis=axis)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return x.log_softmax(axis=axis)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight.T + bias`` for 2-D ``x``."""
+    from repro.nn.tensor import Linear as LinearFunction
+
+    if bias is None:
+        return LinearFunction.apply(x, weight, None)
+    return LinearFunction.apply(x, weight, bias)
+
+
+def flatten(x: Tensor, start_dim: int = 1) -> Tensor:
+    return x.flatten(start_dim=start_dim)
+
+
+# ---------------------------------------------------------------------------
+# Losses
+# ---------------------------------------------------------------------------
+
+
+class NllLossFunction(Function):
+    """Negative log-likelihood of integer targets given log-probabilities."""
+
+    def forward(self, log_probs: np.ndarray, targets: np.ndarray, reduction: str) -> np.ndarray:
+        if log_probs.ndim != 2:
+            raise ValueError(f"nll_loss expects (N, C) log-probabilities, got {log_probs.shape}")
+        targets = np.asarray(targets).astype(np.int64).reshape(-1)
+        if targets.shape[0] != log_probs.shape[0]:
+            raise ValueError(
+                f"targets length {targets.shape[0]} does not match batch size {log_probs.shape[0]}"
+            )
+        picked = log_probs[np.arange(log_probs.shape[0]), targets]
+        self.save_for_backward(log_probs.shape, targets, reduction, log_probs.dtype)
+        if reduction == "mean":
+            return np.asarray(-picked.mean(), dtype=log_probs.dtype)
+        if reduction == "sum":
+            return np.asarray(-picked.sum(), dtype=log_probs.dtype)
+        if reduction == "none":
+            return -picked
+        raise ValueError(f"unknown reduction {reduction!r}")
+
+    def backward(self, grad_output: np.ndarray):
+        shape, targets, reduction, dtype = self.saved
+        n = shape[0]
+        grad = np.zeros(shape, dtype=dtype)
+        rows = np.arange(n)
+        if reduction == "mean":
+            grad[rows, targets] = -1.0 / n
+            grad = grad * grad_output
+        elif reduction == "sum":
+            grad[rows, targets] = -1.0
+            grad = grad * grad_output
+        else:
+            grad[rows, targets] = -1.0
+            grad = grad * grad_output.reshape(n, 1)
+        return (grad,)
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood loss for integer class targets."""
+    return NllLossFunction.apply(log_probs, np.asarray(targets), reduction)
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    reduction: str = "mean",
+    label_smoothing: float = 0.0,
+) -> Tensor:
+    """Cross-entropy between raw logits and integer class targets.
+
+    ``label_smoothing`` mixes the one-hot target with a uniform distribution,
+    matching the semantics of ``torch.nn.functional.cross_entropy``.
+    """
+    log_probs = logits.log_softmax(axis=-1)
+    if label_smoothing <= 0.0:
+        return nll_loss(log_probs, targets, reduction=reduction)
+    if not 0.0 <= label_smoothing < 1.0:
+        raise ValueError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+    num_classes = logits.shape[-1]
+    hard = nll_loss(log_probs, targets, reduction=reduction)
+    if reduction == "mean":
+        smooth = -log_probs.sum(axis=-1).mean() * (1.0 / num_classes)
+    elif reduction == "sum":
+        smooth = -log_probs.sum() * (1.0 / num_classes)
+    else:
+        smooth = -log_probs.sum(axis=-1) * (1.0 / num_classes)
+    return hard * (1.0 - label_smoothing) + smooth * label_smoothing
+
+
+def mse_loss(prediction: Tensor, target: Union[Tensor, np.ndarray], reduction: str = "mean") -> Tensor:
+    """Mean squared error loss."""
+    target_t = as_tensor(target)
+    diff = prediction - target_t
+    squared = diff * diff
+    if reduction == "mean":
+        return squared.mean()
+    if reduction == "sum":
+        return squared.sum()
+    if reduction == "none":
+        return squared
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+
+def one_hot(targets: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode an integer label vector."""
+    targets = np.asarray(targets).astype(np.int64).reshape(-1)
+    if targets.size and (targets.min() < 0 or targets.max() >= num_classes):
+        raise ValueError("targets out of range for one_hot encoding")
+    encoded = np.zeros((targets.shape[0], num_classes), dtype=np.float32)
+    encoded[np.arange(targets.shape[0]), targets] = 1.0
+    return encoded
+
+
+def accuracy(logits: Union[Tensor, np.ndarray], targets: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    scores = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    predictions = scores.argmax(axis=-1)
+    targets = np.asarray(targets).reshape(-1)
+    if predictions.shape[0] == 0:
+        return 0.0
+    return float((predictions == targets).mean())

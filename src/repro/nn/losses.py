@@ -1,0 +1,57 @@
+"""Loss modules wrapping the functional losses."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.tensor import Tensor
+
+
+class CrossEntropyLoss(Module):
+    """Cross-entropy between raw logits and integer class targets."""
+
+    def __init__(self, reduction: str = "mean", label_smoothing: float = 0.0) -> None:
+        super().__init__()
+        if reduction not in ("mean", "sum", "none"):
+            raise ValueError(f"unknown reduction {reduction!r}")
+        self.reduction = reduction
+        self.label_smoothing = label_smoothing
+
+    def forward(self, logits: Tensor, targets: Union[np.ndarray, Tensor]) -> Tensor:
+        target_array = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+        return F.cross_entropy(
+            logits,
+            target_array,
+            reduction=self.reduction,
+            label_smoothing=self.label_smoothing,
+        )
+
+    def extra_repr(self) -> str:
+        return f"reduction={self.reduction!r}, label_smoothing={self.label_smoothing}"
+
+
+class NllLoss(Module):
+    """Negative log-likelihood loss over log-probabilities."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, log_probs: Tensor, targets: Union[np.ndarray, Tensor]) -> Tensor:
+        target_array = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+        return F.nll_loss(log_probs, target_array, reduction=self.reduction)
+
+
+class MseLoss(Module):
+    """Mean squared error loss."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, prediction: Tensor, target: Union[np.ndarray, Tensor]) -> Tensor:
+        return F.mse_loss(prediction, target, reduction=self.reduction)

@@ -1,0 +1,257 @@
+"""Module (layer container) abstraction mirroring ``torch.nn.Module``.
+
+Modules register parameters, buffers (non-trainable state such as batch-norm
+running statistics) and sub-modules automatically through attribute
+assignment, and expose ``state_dict`` / ``load_state_dict`` for check-pointing
+— which the Reduce framework relies on to reset a model to its pre-trained
+weights before retraining it for each faulty chip.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor.
+
+    Parameters are ordinary tensors flagged with ``requires_grad=True`` that
+    modules register automatically so that optimizers and the fault-aware
+    masking machinery can discover them by name.
+    """
+
+    def __init__(self, data: Union[np.ndarray, Tensor], requires_grad: bool = True) -> None:
+        super().__init__(data, requires_grad=requires_grad)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.shape}, requires_grad={self.requires_grad})"
+
+
+class Module:
+    """Base class for all neural-network modules."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_buffers", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    # -- attribute registration ---------------------------------------------
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+            self._buffers.pop(name, None)
+            self._modules.pop(name, None)
+        elif isinstance(value, Module):
+            self._modules[name] = value
+            self._parameters.pop(name, None)
+            self._buffers.pop(name, None)
+        else:
+            # Plain attribute; drop any stale registration under the same name.
+            self._parameters.pop(name, None)
+            self._modules.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: Optional[np.ndarray]) -> None:
+        """Register non-trainable state included in ``state_dict``."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name: str, value: Optional[Parameter]) -> None:
+        if value is None:
+            self._parameters.pop(name, None)
+            object.__setattr__(self, name, None)
+        else:
+            setattr(self, name, value)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        setattr(self, name, module)
+
+    # -- traversal -----------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            if param is not None:
+                yield (f"{prefix}{name}", param)
+        for module_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{module_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, Optional[np.ndarray]]]:
+        for name in self._buffers:
+            yield (f"{prefix}{name}", getattr(self, name))
+        for module_name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{module_name}.")
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for module_name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{module_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def children(self) -> Iterator["Module"]:
+        return iter(self._modules.values())
+
+    def apply(self, fn: Callable[["Module"], None]) -> "Module":
+        for module in self.modules():
+            fn(module)
+        return self
+
+    # -- training state -------------------------------------------------------
+
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    # -- state dict -----------------------------------------------------------
+
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Return a flat name → array copy of all parameters and buffers."""
+        state: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buffer in self.named_buffers():
+            if buffer is not None:
+                state[name] = np.array(buffer, copy=True)
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameters and buffers from a ``state_dict``.
+
+        With ``strict=True`` missing or unexpected keys raise ``KeyError``.
+        """
+        own_params = dict(self.named_parameters())
+        own_buffer_names = [name for name, _ in self.named_buffers()]
+        expected = set(own_params) | set(own_buffer_names)
+        provided = set(state)
+        if strict:
+            missing = expected - provided
+            unexpected = provided - expected
+            if missing or unexpected:
+                raise KeyError(
+                    f"state_dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+                )
+        for name, param in own_params.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: checkpoint {value.shape} vs model {param.data.shape}"
+                )
+            param.data = value.astype(param.data.dtype, copy=True)
+        self._load_buffers(state, prefix="")
+
+    def _load_buffers(self, state: Dict[str, np.ndarray], prefix: str) -> None:
+        for name in self._buffers:
+            full_name = f"{prefix}{name}"
+            if full_name in state and state[full_name] is not None:
+                current = getattr(self, name)
+                value = np.asarray(state[full_name])
+                if current is not None:
+                    value = value.astype(np.asarray(current).dtype, copy=True).reshape(np.asarray(current).shape)
+                self._buffers[name] = value
+                object.__setattr__(self, name, value)
+        for module_name, module in self._modules.items():
+            module._load_buffers(state, prefix=f"{prefix}{module_name}.")
+
+    # -- misc ------------------------------------------------------------------
+
+    def num_parameters(self, trainable_only: bool = True) -> int:
+        """Total number of scalar parameters in the module."""
+        return sum(
+            p.size for p in self.parameters() if (p.requires_grad or not trainable_only)
+        )
+
+    def forward(self, *args: Any, **kwargs: Any) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    def extra_repr(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:
+        lines = [f"{type(self).__name__}({self.extra_repr()}"]
+        children = list(self._modules.items())
+        if not children:
+            return lines[0] + ")"
+        for name, module in children:
+            child_repr = repr(module).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child_repr}")
+        lines.append(")")
+        return "\n".join(lines)
+
+
+class Sequential(Module):
+    """A module chaining sub-modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for index, module in enumerate(modules):
+            self.add_module(str(index), module)
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def append(self, module: Module) -> "Sequential":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+
+class ModuleList(Module):
+    """Holds sub-modules in a list; useful for programmatically built models."""
+
+    def __init__(self, modules: Optional[Iterable[Module]] = None) -> None:
+        super().__init__()
+        if modules is not None:
+            for module in modules:
+                self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def forward(self, *args: Any, **kwargs: Any) -> Tensor:  # pragma: no cover
+        raise RuntimeError("ModuleList is a container and cannot be called directly")

@@ -1,0 +1,216 @@
+"""Optimizers and learning-rate schedulers.
+
+The fault-aware retraining loop (:mod:`repro.mitigation.fat`) uses these
+optimizers; SGD with momentum matches the fine-tuning setup typically used
+for fault-aware training of convolutional networks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base class for optimizers operating on a list of parameters."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr < 0:
+            raise ValueError(f"learning rate must be non-negative, got {lr}")
+        self.lr = float(lr)
+        self.state: Dict[int, Dict[str, np.ndarray]] = {}
+        self._step_count = 0
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.grad = None
+
+    def step(self) -> None:
+        self._step_count += 1
+        for index, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            self._update(index, param, param.grad)
+
+    def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _param_state(self, index: int) -> Dict[str, np.ndarray]:
+        return self.state.setdefault(index, {})
+
+    @property
+    def step_count(self) -> int:
+        return self._step_count
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum, weight decay and Nesterov."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if momentum < 0:
+            raise ValueError(f"momentum must be non-negative, got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be non-negative, got {weight_decay}")
+        if nesterov and momentum == 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+
+    def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            state = self._param_state(index)
+            buf = state.get("momentum")
+            if buf is None:
+                buf = grad.copy()
+            else:
+                buf = self.momentum * buf + grad
+            state["momentum"] = buf
+            grad = grad + self.momentum * buf if self.nesterov else buf
+        param.data = param.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: Sequence[float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+
+    def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        state = self._param_state(index)
+        m = state.get("m")
+        v = state.get("v")
+        step = state.get("step", 0) + 1
+        if m is None:
+            m = np.zeros_like(param.data)
+            v = np.zeros_like(param.data)
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * (grad * grad)
+        state["m"], state["v"], state["step"] = m, v, step
+        m_hat = m / (1 - self.beta1 ** step)
+        v_hat = v / (1 - self.beta2 ** step)
+        param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:
+        if self.weight_decay:
+            param.data = param.data - self.lr * self.weight_decay * param.data
+        weight_decay, self.weight_decay = self.weight_decay, 0.0
+        try:
+            super()._update(index, param, grad)
+        finally:
+            self.weight_decay = weight_decay
+
+
+class LRScheduler:
+    """Base class for learning-rate schedulers."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.last_epoch = 0
+
+    def get_lr(self) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self.last_epoch += 1
+        new_lr = self.get_lr()
+        self.optimizer.lr = new_lr
+        return new_lr
+
+
+class StepLR(LRScheduler):
+    """Decay the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        return self.base_lr * (self.gamma ** (self.last_epoch // self.step_size))
+
+
+class MultiStepLR(LRScheduler):
+    """Decay the learning rate by ``gamma`` at each milestone epoch."""
+
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def get_lr(self) -> float:
+        passed = sum(1 for m in self.milestones if self.last_epoch >= m)
+        return self.base_lr * (self.gamma ** passed)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine annealing from the base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self) -> float:
+        progress = min(self.last_epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * progress))
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Clip gradients in-place so their global L2 norm is at most ``max_norm``.
+
+    Returns the norm before clipping (useful for logging and tests).
+    """
+    params = [p for p in parameters if p.grad is not None]
+    if not params:
+        return 0.0
+    total = math.sqrt(sum(float((p.grad.astype(np.float64) ** 2).sum()) for p in params))
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for p in params:
+            p.grad = p.grad * scale
+    return total

@@ -1,0 +1,350 @@
+"""Supervised training loop with optional weight masking and fractional epochs.
+
+This module is the training substrate shared by
+
+* pre-training the clean reference model (the "pre-trained DNN" input of the
+  Reduce framework),
+* fault-aware retraining (FAT), where a per-layer boolean mask keeps the
+  weights mapped onto faulty PEs clamped at zero, and
+* resilience analysis, which needs accuracy measured at several *fractional*
+  epoch checkpoints (the paper evaluates retraining amounts as small as
+  0.05 epochs) within a single progressive training run.
+
+Epochs are accounted in fractions of a pass over the training set: an epoch
+amount ``e`` corresponds to ``round(e * batches_per_epoch)`` optimizer steps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro import nn
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import Dataset
+from repro.nn import functional as F
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedLike, derive_seed
+
+logger = get_logger("training")
+
+MaskDict = Dict[str, np.ndarray]
+
+
+@dataclasses.dataclass
+class TrainingConfig:
+    """Hyper-parameters of the (re)training loop."""
+
+    optimizer: str = "sgd"
+    learning_rate: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 5e-4
+    batch_size: int = 32
+    grad_clip: Optional[float] = 5.0
+    label_smoothing: float = 0.0
+    shuffle: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.optimizer not in ("sgd", "adam", "adamw"):
+            raise ValueError(f"unknown optimizer {self.optimizer!r}")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+
+    def build_optimizer(self, parameters) -> nn.Optimizer:
+        if self.optimizer == "sgd":
+            return nn.SGD(
+                parameters,
+                lr=self.learning_rate,
+                momentum=self.momentum,
+                weight_decay=self.weight_decay,
+            )
+        if self.optimizer == "adam":
+            return nn.Adam(parameters, lr=self.learning_rate, weight_decay=self.weight_decay)
+        return nn.AdamW(parameters, lr=self.learning_rate, weight_decay=self.weight_decay)
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckpointRecord:
+    """Metrics captured at one evaluation checkpoint during (re)training."""
+
+    epochs: float
+    steps: int
+    train_loss: float
+    eval_accuracy: float
+
+
+@dataclasses.dataclass
+class TrainingHistory:
+    """Progressive accuracy-vs-retraining-amount curve of one training run."""
+
+    records: List[CheckpointRecord] = dataclasses.field(default_factory=list)
+
+    def add(self, record: CheckpointRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def epochs(self) -> List[float]:
+        return [record.epochs for record in self.records]
+
+    @property
+    def accuracies(self) -> List[float]:
+        return [record.eval_accuracy for record in self.records]
+
+    @property
+    def final_accuracy(self) -> float:
+        if not self.records:
+            raise ValueError("history is empty")
+        return self.records[-1].eval_accuracy
+
+    @property
+    def total_epochs(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.records[-1].epochs
+
+    def accuracy_at(self, epochs: float, tolerance: float = 1e-9) -> float:
+        """Accuracy recorded at the checkpoint closest to ``epochs``."""
+        if not self.records:
+            raise ValueError("history is empty")
+        best = min(self.records, key=lambda record: abs(record.epochs - epochs))
+        if abs(best.epochs - epochs) > max(tolerance, 0.25 * max(epochs, 1e-9)) and len(self.records) > 1:
+            logger.debug("accuracy_at(%s) matched checkpoint %s", epochs, best.epochs)
+        return best.eval_accuracy
+
+    def epochs_to_reach(self, target_accuracy: float) -> Optional[float]:
+        """Smallest checkpoint epoch amount whose accuracy meets the target."""
+        for record in self.records:
+            if record.eval_accuracy >= target_accuracy:
+                return record.epochs
+        return None
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {
+            "epochs": self.epochs,
+            "accuracy": self.accuracies,
+            "train_loss": [record.train_loss for record in self.records],
+        }
+
+
+def _as_loader(
+    data: Union[Dataset, DataLoader],
+    batch_size: int,
+    shuffle: bool,
+    seed: SeedLike,
+) -> DataLoader:
+    if isinstance(data, DataLoader):
+        return data
+    return DataLoader(data, batch_size=batch_size, shuffle=shuffle, seed=seed)
+
+
+def evaluate_accuracy(
+    model: nn.Module,
+    data: Union[Dataset, DataLoader],
+    batch_size: int = 128,
+) -> float:
+    """Top-1 accuracy of ``model`` on ``data`` (model mode is restored)."""
+    loader = _as_loader(data, batch_size=batch_size, shuffle=False, seed=0)
+    was_training = model.training
+    model.eval()
+    correct = 0
+    total = 0
+    with nn.no_grad():
+        for inputs, targets in loader:
+            logits = model(inputs)
+            predictions = logits.data.argmax(axis=-1)
+            correct += int((predictions == np.asarray(targets)).sum())
+            total += len(targets)
+    if was_training:
+        model.train()
+    return correct / total if total else 0.0
+
+
+def evaluate_loss(
+    model: nn.Module,
+    data: Union[Dataset, DataLoader],
+    batch_size: int = 128,
+) -> float:
+    """Mean cross-entropy loss of ``model`` on ``data``."""
+    loader = _as_loader(data, batch_size=batch_size, shuffle=False, seed=0)
+    was_training = model.training
+    model.eval()
+    total_loss = 0.0
+    total = 0
+    with nn.no_grad():
+        for inputs, targets in loader:
+            loss = F.cross_entropy(model(inputs), targets, reduction="sum")
+            total_loss += loss.item()
+            total += len(targets)
+    if was_training:
+        model.train()
+    return total_loss / total if total else 0.0
+
+
+def apply_weight_masks(model: nn.Module, masks: Optional[MaskDict]) -> None:
+    """Zero out the weights selected by ``masks`` (True = forced to zero)."""
+    if not masks:
+        return
+    modules = dict(model.named_modules())
+    for name, mask in masks.items():
+        if name not in modules:
+            raise KeyError(f"mask refers to unknown layer {name!r}")
+        module = modules[name]
+        weight = getattr(module, "weight", None)
+        if weight is None:
+            raise ValueError(f"layer {name!r} has no weight to mask")
+        if mask.shape != weight.data.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} does not match weight shape {weight.data.shape} for layer {name!r}"
+            )
+        weight.data[mask] = 0.0
+
+
+def mask_gradients(model: nn.Module, masks: Optional[MaskDict]) -> None:
+    """Zero the gradients of masked weights so optimizer state stays clean."""
+    if not masks:
+        return
+    modules = dict(model.named_modules())
+    for name, mask in masks.items():
+        module = modules.get(name)
+        if module is None:
+            continue
+        weight = getattr(module, "weight", None)
+        if weight is not None and weight.grad is not None:
+            weight.grad[mask] = 0.0
+
+
+def epochs_to_steps(epochs: float, batches_per_epoch: int) -> int:
+    """Convert a (possibly fractional) epoch amount into optimizer steps."""
+    if epochs < 0:
+        raise ValueError("epochs must be non-negative")
+    if batches_per_epoch <= 0:
+        raise ValueError("batches_per_epoch must be positive")
+    if epochs == 0:
+        return 0
+    steps = int(round(epochs * batches_per_epoch))
+    return max(steps, 1)
+
+
+class Trainer:
+    """Progressive trainer with optional fault masks and epoch checkpoints."""
+
+    def __init__(
+        self,
+        model: nn.Module,
+        train_data: Union[Dataset, DataLoader],
+        eval_data: Union[Dataset, DataLoader],
+        config: Optional[TrainingConfig] = None,
+        masks: Optional[MaskDict] = None,
+    ) -> None:
+        self.model = model
+        self.config = config if config is not None else TrainingConfig()
+        self.masks = masks
+        self.train_loader = _as_loader(
+            train_data,
+            batch_size=self.config.batch_size,
+            shuffle=self.config.shuffle,
+            seed=derive_seed(self.config.seed, "train-loader"),
+        )
+        self.eval_data = eval_data
+        self.optimizer = self.config.build_optimizer(model.parameters())
+        self.steps_taken = 0
+        self.batches_per_epoch = max(1, len(self.train_loader))
+        # Enforce the masks on the starting weights (FAP before FAT).
+        apply_weight_masks(self.model, self.masks)
+
+    @property
+    def epochs_taken(self) -> float:
+        return self.steps_taken / self.batches_per_epoch
+
+    def _train_steps(self, num_steps: int) -> float:
+        """Run ``num_steps`` optimizer steps; returns the mean training loss."""
+        if num_steps <= 0:
+            return float("nan")
+        self.model.train()
+        losses: List[float] = []
+        remaining = num_steps
+        while remaining > 0:
+            for inputs, targets in self.train_loader:
+                logits = self.model(inputs)
+                loss = F.cross_entropy(
+                    logits, targets, label_smoothing=self.config.label_smoothing
+                )
+                self.optimizer.zero_grad()
+                loss.backward()
+                mask_gradients(self.model, self.masks)
+                if self.config.grad_clip is not None:
+                    nn.clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+                self.optimizer.step()
+                apply_weight_masks(self.model, self.masks)
+                losses.append(loss.item())
+                self.steps_taken += 1
+                remaining -= 1
+                if remaining == 0:
+                    break
+        return float(np.mean(losses)) if losses else float("nan")
+
+    def evaluate(self) -> float:
+        return evaluate_accuracy(self.model, self.eval_data, batch_size=self.config.batch_size * 4)
+
+    def train(
+        self,
+        epochs: float,
+        eval_checkpoints: Optional[Sequence[float]] = None,
+        include_initial: bool = True,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` (fractional allowed) with periodic evaluation.
+
+        ``eval_checkpoints`` is a list of *cumulative* epoch amounts (relative
+        to the start of this call) at which to record accuracy; the final
+        epoch amount is always evaluated.  With ``include_initial=True`` the
+        accuracy before any step (0.0 epochs) is recorded too.
+        """
+        if epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        history = TrainingHistory()
+        if include_initial:
+            history.add(
+                CheckpointRecord(
+                    epochs=0.0,
+                    steps=self.steps_taken,
+                    train_loss=float("nan"),
+                    eval_accuracy=self.evaluate(),
+                )
+            )
+        checkpoints = sorted(set(float(c) for c in (eval_checkpoints or []) if 0.0 < c <= epochs))
+        if epochs > 0 and (not checkpoints or abs(checkpoints[-1] - epochs) > 1e-12):
+            checkpoints.append(float(epochs))
+        previous_steps = 0
+        for checkpoint in checkpoints:
+            target_steps = epochs_to_steps(checkpoint, self.batches_per_epoch)
+            step_delta = target_steps - previous_steps
+            train_loss = self._train_steps(step_delta) if step_delta > 0 else float("nan")
+            previous_steps = target_steps
+            history.add(
+                CheckpointRecord(
+                    epochs=checkpoint,
+                    steps=self.steps_taken,
+                    train_loss=train_loss,
+                    eval_accuracy=self.evaluate(),
+                )
+            )
+        return history
+
+
+def train_classifier(
+    model: nn.Module,
+    train_data: Union[Dataset, DataLoader],
+    eval_data: Union[Dataset, DataLoader],
+    epochs: float,
+    config: Optional[TrainingConfig] = None,
+    masks: Optional[MaskDict] = None,
+    eval_checkpoints: Optional[Sequence[float]] = None,
+) -> TrainingHistory:
+    """One-call training helper (builds a :class:`Trainer` and runs it)."""
+    trainer = Trainer(model, train_data, eval_data, config=config, masks=masks)
+    return trainer.train(epochs, eval_checkpoints=eval_checkpoints)

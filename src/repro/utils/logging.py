@@ -1,0 +1,54 @@
+"""Minimal logging configuration used across the library.
+
+The library never configures the root logger; it only attaches a console
+handler to its own ``repro`` logger hierarchy so that embedding applications
+keep full control of their logging setup.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def _ensure_configured() -> None:
+    global _configured
+    if _configured:
+        return
+    logger = logging.getLogger(_ROOT_NAME)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s", "%H:%M:%S")
+        )
+        logger.addHandler(handler)
+    logger.setLevel(logging.WARNING)
+    logger.propagate = False
+    _configured = True
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a logger in the ``repro`` hierarchy.
+
+    ``get_logger("core.reduce")`` returns the ``repro.core.reduce`` logger.
+    """
+    _ensure_configured()
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: int) -> None:
+    """Set the verbosity of all ``repro`` loggers.
+
+    ``level`` follows the convention 0 = warnings only, 1 = info, 2 = debug.
+    """
+    _ensure_configured()
+    mapping = {0: logging.WARNING, 1: logging.INFO, 2: logging.DEBUG}
+    logging.getLogger(_ROOT_NAME).setLevel(mapping.get(level, logging.DEBUG))

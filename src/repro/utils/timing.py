@@ -1,0 +1,61 @@
+"""Wall-clock timing helpers used by trainers and experiment runners."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+def format_duration(seconds: float) -> str:
+    """Format a duration in seconds as a short human-readable string."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m{rem:04.1f}s"
+    hours, minutes = divmod(int(minutes), 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class Timer:
+    """Context-manager / manual timer measuring elapsed wall-clock time."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self._start = None
+        self.elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        label = self.name or "Timer"
+        return f"{label}({format_duration(self.elapsed)})"

@@ -1,0 +1,18 @@
+"""Shared test helpers (kept outside conftest so tests can import them)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def numeric_gradient(func, x, eps=1e-4):
+    """Central-difference numerical gradient of a scalar function of ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    for index in np.ndindex(*x.shape):
+        plus = x.copy()
+        minus = x.copy()
+        plus[index] += eps
+        minus[index] -= eps
+        grad[index] = (func(plus) - func(minus)) / (2.0 * eps)
+    return grad

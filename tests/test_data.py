@@ -1,0 +1,241 @@
+"""Tests for datasets, loaders, transforms and synthetic data generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    Compose,
+    DataLoader,
+    Dataset,
+    GaussianNoise,
+    Normalize,
+    RandomCrop,
+    RandomHorizontalFlip,
+    Subset,
+    TensorDataset,
+    ToFloat32,
+    TransformedDataset,
+    channel_statistics,
+    full_batch,
+    make_blob_classification,
+    make_class_template_images,
+    make_cifar10_like,
+    random_split,
+    stratified_split,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestTensorDataset:
+    def test_length_and_indexing(self):
+        ds = TensorDataset(np.arange(20).reshape(10, 2), np.arange(10))
+        assert len(ds) == 10
+        x, y = ds[3]
+        assert np.array_equal(x, [6, 7]) and y == 3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            TensorDataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_num_classes(self):
+        ds = TensorDataset(np.zeros((6, 2)), np.array([0, 1, 2, 2, 1, 0]))
+        assert ds.num_classes == 3
+
+    def test_base_dataset_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            len(Dataset())
+
+
+class TestSubsetAndSplits:
+    def test_subset_indexing(self):
+        ds = TensorDataset(np.arange(10).reshape(10, 1), np.arange(10))
+        subset = Subset(ds, [2, 4, 6])
+        assert len(subset) == 3
+        assert subset[1][1] == 4
+        assert subset.num_classes == 10
+
+    def test_subset_out_of_range(self):
+        ds = TensorDataset(np.zeros((3, 1)), np.zeros(3, dtype=np.int64))
+        with pytest.raises(IndexError):
+            Subset(ds, [5])
+
+    def test_random_split_uses_every_sample(self):
+        ds = TensorDataset(np.zeros((17, 1)), np.zeros(17, dtype=np.int64))
+        parts = random_split(ds, [0.5, 0.3, 0.2], seed=0)
+        assert sum(len(p) for p in parts) == 17
+        all_indices = np.concatenate([p.indices for p in parts])
+        assert len(np.unique(all_indices)) == 17
+
+    def test_random_split_invalid_fractions(self):
+        ds = TensorDataset(np.zeros((4, 1)), np.zeros(4, dtype=np.int64))
+        with pytest.raises(ValueError):
+            random_split(ds, [0.5, 0.2], seed=0)
+
+    def test_stratified_split_preserves_classes(self):
+        targets = np.repeat(np.arange(4), 10)
+        ds = TensorDataset(np.zeros((40, 1)), targets)
+        train, test = stratified_split(ds, test_fraction=0.25, seed=0)
+        test_labels = [int(ds[i][1]) for i in test.indices]
+        assert sorted(set(test_labels)) == [0, 1, 2, 3]
+        assert len(train) + len(test) == 40
+
+    def test_transformed_dataset(self):
+        ds = TensorDataset(np.ones((4, 2)), np.zeros(4, dtype=np.int64))
+        doubled = TransformedDataset(ds, lambda x: x * 2)
+        assert np.all(doubled[0][0] == 2)
+        assert doubled.num_classes == 1
+
+
+class TestDataLoader:
+    def _dataset(self, n=23):
+        return TensorDataset(np.arange(n * 2, dtype=np.float32).reshape(n, 2), np.arange(n) % 3)
+
+    def test_batch_shapes_and_count(self):
+        loader = DataLoader(self._dataset(), batch_size=5)
+        batches = list(loader)
+        assert len(loader) == 5
+        assert len(batches) == 5
+        assert batches[0][0].shape == (5, 2)
+        assert batches[-1][0].shape == (3, 2)
+
+    def test_drop_last(self):
+        loader = DataLoader(self._dataset(), batch_size=5, drop_last=True)
+        assert len(loader) == 4
+        assert all(x.shape[0] == 5 for x, _ in loader)
+
+    def test_shuffle_changes_order_but_not_content(self):
+        loader = DataLoader(self._dataset(), batch_size=23, shuffle=True, seed=0)
+        (x1, y1), = list(loader)
+        (x2, y2), = list(loader)
+        assert not np.array_equal(y1, y2) or not np.array_equal(x1.data, x2.data)
+        assert sorted(y1.tolist()) == sorted(y2.tolist())
+
+    def test_no_shuffle_is_deterministic(self):
+        loader = DataLoader(self._dataset(), batch_size=4, shuffle=False)
+        first = np.concatenate([y for _, y in loader])
+        second = np.concatenate([y for _, y in loader])
+        np.testing.assert_array_equal(first, second)
+
+    def test_take_limits_batches(self):
+        loader = DataLoader(self._dataset(), batch_size=4)
+        assert len(list(loader.take(2))) == 2
+        assert len(list(loader.take(0))) == 0
+        with pytest.raises(ValueError):
+            list(loader.take(-1))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(self._dataset(), batch_size=0)
+
+    def test_full_batch(self):
+        x, y = full_batch(self._dataset(8))
+        assert x.shape == (8, 2) and y.shape == (8,)
+
+    def test_inputs_are_float32_tensors(self):
+        x, _ = next(iter(DataLoader(self._dataset(), batch_size=3)))
+        assert x.dtype == np.float32
+
+
+class TestTransforms:
+    def test_normalize(self):
+        image = np.ones((3, 4, 4), dtype=np.float32)
+        out = Normalize([1.0, 1.0, 1.0], [2.0, 2.0, 2.0])(image)
+        np.testing.assert_allclose(out, np.zeros_like(image))
+        with pytest.raises(ValueError):
+            Normalize([0.0], [0.0])
+
+    def test_horizontal_flip(self):
+        image = np.arange(8, dtype=np.float32).reshape(1, 2, 4)
+        flipped = RandomHorizontalFlip(p=1.0, seed=0)(image)
+        np.testing.assert_array_equal(flipped[0, 0], [3, 2, 1, 0])
+        unflipped = RandomHorizontalFlip(p=0.0, seed=0)(image)
+        np.testing.assert_array_equal(unflipped, image)
+
+    def test_random_crop(self):
+        image = RNG.standard_normal((3, 8, 8)).astype(np.float32)
+        cropped = RandomCrop(6, seed=0)(image)
+        assert cropped.shape == (3, 6, 6)
+        padded_crop = RandomCrop(8, padding=2, seed=0)(image)
+        assert padded_crop.shape == (3, 8, 8)
+        with pytest.raises(ValueError):
+            RandomCrop(20)(image)
+
+    def test_gaussian_noise_and_compose(self):
+        image = np.zeros((1, 4, 4), dtype=np.float32)
+        pipeline = Compose([GaussianNoise(0.1, seed=0), ToFloat32()])
+        out = pipeline(image)
+        assert out.dtype == np.float32
+        assert out.std() > 0
+        assert "Compose" in repr(pipeline)
+
+    def test_channel_statistics(self):
+        images = RNG.standard_normal((10, 3, 4, 4))
+        mean, std = channel_statistics(images)
+        assert mean.shape == (3,) and std.shape == (3,)
+        with pytest.raises(ValueError):
+            channel_statistics(np.zeros((3, 4, 4)))
+
+
+class TestSyntheticData:
+    def test_class_template_images_shapes(self):
+        bundle = make_class_template_images(
+            num_classes=5, train_per_class=6, test_per_class=3, image_size=10, channels=3, seed=0
+        )
+        assert len(bundle.train) == 30 and len(bundle.test) == 15
+        assert bundle.input_shape == (3, 10, 10)
+        assert bundle.num_classes == 5
+        x, y = bundle.train[0]
+        assert x.shape == (3, 10, 10) and 0 <= y < 5
+        assert bundle.image_channels == 3 and bundle.image_size == 10
+        assert "train" in bundle.summary()
+
+    def test_deterministic_given_seed(self):
+        a = make_class_template_images(num_classes=3, train_per_class=4, test_per_class=2, image_size=8, seed=5)
+        b = make_class_template_images(num_classes=3, train_per_class=4, test_per_class=2, image_size=8, seed=5)
+        np.testing.assert_allclose(a.train.inputs, b.train.inputs)
+        np.testing.assert_array_equal(a.train.targets, b.train.targets)
+
+    def test_different_seeds_differ(self):
+        a = make_class_template_images(num_classes=3, train_per_class=4, test_per_class=2, image_size=8, seed=1)
+        b = make_class_template_images(num_classes=3, train_per_class=4, test_per_class=2, image_size=8, seed=2)
+        assert not np.allclose(a.train.inputs, b.train.inputs)
+
+    def test_all_classes_present(self):
+        bundle = make_class_template_images(num_classes=6, train_per_class=3, test_per_class=2, image_size=8, seed=0)
+        assert set(np.unique(bundle.train.targets)) == set(range(6))
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            make_class_template_images(num_classes=1)
+        with pytest.raises(ValueError):
+            make_class_template_images(noise_std=-1.0)
+        with pytest.raises(ValueError):
+            make_class_template_images(image_size=2, template_grid=4)
+
+    def test_cifar10_like_shape(self):
+        bundle = make_cifar10_like(train_per_class=2, test_per_class=1, image_size=16, seed=0)
+        assert bundle.num_classes == 10
+        assert bundle.input_shape == (3, 16, 16)
+
+    def test_blob_classification(self):
+        bundle = make_blob_classification(num_classes=3, features=5, train_per_class=10, test_per_class=4, seed=0)
+        assert bundle.input_shape == (5,)
+        assert len(bundle.train) == 30
+        with pytest.raises(ValueError):
+            make_blob_classification(num_classes=1)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    batch_size=st.integers(min_value=1, max_value=16),
+    n=st.integers(min_value=1, max_value=40),
+)
+def test_dataloader_covers_every_sample_property(batch_size, n):
+    """Property: iterating a non-dropping loader yields every sample exactly once."""
+    ds = TensorDataset(np.arange(n, dtype=np.float32).reshape(n, 1), np.arange(n))
+    loader = DataLoader(ds, batch_size=batch_size, shuffle=True, seed=0)
+    seen = np.concatenate([y for _, y in loader])
+    assert sorted(seen.tolist()) == list(range(n))

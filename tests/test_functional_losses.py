@@ -1,0 +1,138 @@
+"""Tests for losses and metrics (cross-entropy, NLL, MSE, accuracy, one-hot)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.losses import CrossEntropyLoss, MseLoss, NllLoss
+from repro.nn.tensor import Tensor
+
+from tests.helpers import numeric_gradient
+
+RNG = np.random.default_rng(3)
+
+
+def reference_cross_entropy(logits, targets):
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    return -log_probs[np.arange(len(targets)), targets].mean()
+
+
+class TestCrossEntropy:
+    def test_matches_reference(self):
+        logits = RNG.standard_normal((6, 5))
+        targets = RNG.integers(0, 5, 6)
+        loss = F.cross_entropy(Tensor(logits, dtype=np.float64), targets)
+        assert loss.item() == pytest.approx(reference_cross_entropy(logits, targets), rel=1e-6)
+
+    def test_perfect_prediction_gives_small_loss(self):
+        logits = np.full((4, 3), -20.0)
+        targets = np.array([0, 1, 2, 0])
+        logits[np.arange(4), targets] = 20.0
+        loss = F.cross_entropy(Tensor(logits), targets)
+        assert loss.item() < 1e-3
+
+    def test_gradient(self):
+        logits0 = RNG.standard_normal((5, 4))
+        targets = RNG.integers(0, 4, 5)
+        logits = Tensor(logits0, requires_grad=True, dtype=np.float64)
+        F.cross_entropy(logits, targets).backward()
+        numeric = numeric_gradient(
+            lambda arr: F.cross_entropy(Tensor(arr, dtype=np.float64), targets).item(), logits0
+        )
+        np.testing.assert_allclose(logits.grad, numeric, rtol=1e-5, atol=1e-6)
+
+    def test_gradient_sums_to_zero_per_sample(self):
+        logits = Tensor(RNG.standard_normal((3, 6)), requires_grad=True, dtype=np.float64)
+        F.cross_entropy(logits, np.array([1, 2, 3])).backward()
+        np.testing.assert_allclose(logits.grad.sum(axis=1), np.zeros(3), atol=1e-8)
+
+    def test_reductions(self):
+        logits = RNG.standard_normal((4, 3))
+        targets = np.array([0, 1, 2, 0])
+        mean_loss = F.cross_entropy(Tensor(logits, dtype=np.float64), targets, reduction="mean").item()
+        sum_loss = F.cross_entropy(Tensor(logits, dtype=np.float64), targets, reduction="sum").item()
+        none_loss = F.cross_entropy(Tensor(logits, dtype=np.float64), targets, reduction="none")
+        assert sum_loss == pytest.approx(mean_loss * 4, rel=1e-6)
+        assert none_loss.shape == (4,)
+
+    def test_label_smoothing_increases_loss_on_confident_predictions(self):
+        logits = np.full((4, 3), -20.0)
+        targets = np.array([0, 1, 2, 0])
+        logits[np.arange(4), targets] = 20.0
+        plain = F.cross_entropy(Tensor(logits), targets).item()
+        smoothed = F.cross_entropy(Tensor(logits), targets, label_smoothing=0.1).item()
+        assert smoothed > plain
+
+    def test_invalid_label_smoothing(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 2))), np.array([0, 1]), label_smoothing=1.5)
+
+    def test_module_wrapper(self):
+        logits = RNG.standard_normal((4, 3))
+        targets = np.array([0, 1, 2, 0])
+        module = CrossEntropyLoss()
+        functional_value = F.cross_entropy(Tensor(logits, dtype=np.float64), targets).item()
+        assert module(Tensor(logits, dtype=np.float64), targets).item() == pytest.approx(functional_value)
+        with pytest.raises(ValueError):
+            CrossEntropyLoss(reduction="bogus")
+
+
+class TestNll:
+    def test_matches_manual(self):
+        log_probs = np.log(np.full((3, 4), 0.25))
+        loss = F.nll_loss(Tensor(log_probs), np.array([0, 1, 2]))
+        assert loss.item() == pytest.approx(-np.log(0.25), rel=1e-6)
+
+    def test_target_length_mismatch(self):
+        with pytest.raises(ValueError):
+            F.nll_loss(Tensor(np.zeros((3, 2))), np.array([0, 1]))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            F.nll_loss(Tensor(np.zeros(3)), np.array([0, 1, 2]))
+
+    def test_module_wrapper(self):
+        log_probs = Tensor(np.log(np.full((2, 2), 0.5)))
+        assert NllLoss()(log_probs, np.array([0, 1])).item() == pytest.approx(np.log(2), rel=1e-6)
+
+
+class TestMse:
+    def test_value_and_gradient(self):
+        pred0 = RNG.standard_normal((4, 3))
+        target = RNG.standard_normal((4, 3))
+        pred = Tensor(pred0, requires_grad=True, dtype=np.float64)
+        loss = F.mse_loss(pred, target)
+        assert loss.item() == pytest.approx(((pred0 - target) ** 2).mean(), rel=1e-6)
+        loss.backward()
+        np.testing.assert_allclose(pred.grad, 2 * (pred0 - target) / pred0.size, rtol=1e-6)
+
+    def test_reductions(self):
+        pred = Tensor(np.ones((2, 2)))
+        target = np.zeros((2, 2))
+        assert F.mse_loss(pred, target, reduction="sum").item() == pytest.approx(4.0)
+        assert F.mse_loss(pred, target, reduction="none").shape == (2, 2)
+        with pytest.raises(ValueError):
+            F.mse_loss(pred, target, reduction="bogus")
+
+    def test_module_wrapper(self):
+        assert MseLoss()(Tensor(np.ones(3)), np.zeros(3)).item() == pytest.approx(1.0)
+
+
+class TestMetrics:
+    def test_one_hot(self):
+        encoded = F.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_allclose(encoded, np.eye(3)[[0, 2, 1]])
+
+    def test_one_hot_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([0, 3]), 3)
+
+    def test_accuracy(self):
+        logits = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4], [0.3, 0.7]])
+        targets = np.array([0, 1, 1, 1])
+        assert F.accuracy(logits, targets) == pytest.approx(0.75)
+        assert F.accuracy(Tensor(logits), targets) == pytest.approx(0.75)
+
+    def test_accuracy_empty(self):
+        assert F.accuracy(np.zeros((0, 3)), np.zeros(0)) == 0.0

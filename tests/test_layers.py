@@ -1,0 +1,149 @@
+"""Tests for individual layers (shapes, modes, parameter handling)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+RNG = np.random.default_rng(5)
+
+
+class TestLinear:
+    def test_shapes_and_bias(self):
+        layer = nn.Linear(6, 4, rng=0)
+        out = layer(nn.Tensor(RNG.standard_normal((3, 6)).astype(np.float32)))
+        assert out.shape == (3, 4)
+        assert layer.weight.shape == (4, 6)
+        assert layer.bias.shape == (4,)
+
+    def test_no_bias(self):
+        layer = nn.Linear(6, 4, bias=False, rng=0)
+        assert layer.bias is None
+        assert set(dict(layer.named_parameters())) == {"weight"}
+
+    def test_flattens_higher_rank_inputs(self):
+        layer = nn.Linear(12, 2, rng=0)
+        out = layer(nn.Tensor(RNG.standard_normal((5, 3, 2, 2)).astype(np.float32)))
+        assert out.shape == (5, 2)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 4)
+
+    def test_deterministic_with_seed(self):
+        a = nn.Linear(5, 5, rng=123)
+        b = nn.Linear(5, 5, rng=123)
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        layer = nn.Conv2d(3, 8, kernel_size=3, stride=1, padding=1, rng=0)
+        out = layer(nn.Tensor(RNG.standard_normal((2, 3, 10, 10)).astype(np.float32)))
+        assert out.shape == (2, 8, 10, 10)
+        assert layer.output_spatial_size((10, 10)) == (10, 10)
+
+    def test_stride_changes_spatial_size(self):
+        layer = nn.Conv2d(1, 4, kernel_size=3, stride=2, padding=1, rng=0)
+        assert layer.output_spatial_size((9, 9)) == (5, 5)
+
+    def test_no_bias_option(self):
+        layer = nn.Conv2d(2, 4, 3, bias=False, rng=0)
+        assert layer.bias is None
+
+    def test_invalid_channels(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(0, 3, 3)
+
+
+class TestBatchNorm:
+    def test_running_stats_updated_in_train_only(self):
+        layer = nn.BatchNorm2d(3)
+        x = nn.Tensor((RNG.standard_normal((8, 3, 4, 4)) + 4).astype(np.float32))
+        layer(x)
+        mean_after_train = layer.running_mean.copy()
+        assert not np.allclose(mean_after_train, 0)
+        layer.eval()
+        layer(x)
+        np.testing.assert_allclose(layer.running_mean, mean_after_train)
+
+    def test_eval_output_uses_running_stats(self):
+        layer = nn.BatchNorm2d(2)
+        x = nn.Tensor(RNG.standard_normal((4, 2, 3, 3)).astype(np.float32))
+        layer.eval()
+        out = layer(x)
+        expected = (x.data - layer.running_mean.reshape(1, 2, 1, 1)) / np.sqrt(
+            layer.running_var.reshape(1, 2, 1, 1) + layer.eps
+        )
+        np.testing.assert_allclose(out.data, expected, rtol=1e-4, atol=1e-5)
+
+    def test_state_dict_includes_running_stats(self):
+        layer = nn.BatchNorm2d(4)
+        state = layer.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_batchnorm1d_rejects_4d(self):
+        layer = nn.BatchNorm1d(4)
+        with pytest.raises(ValueError):
+            layer(nn.Tensor(np.zeros((2, 4, 3, 3), dtype=np.float32)))
+
+    def test_invalid_features(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(0)
+
+
+class TestPoolingAndShape:
+    def test_maxpool_module(self):
+        layer = nn.MaxPool2d(2)
+        out = layer(nn.Tensor(RNG.standard_normal((1, 2, 8, 8)).astype(np.float32)))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_avgpool_module(self):
+        layer = nn.AvgPool2d(2, stride=2)
+        out = layer(nn.Tensor(RNG.standard_normal((1, 2, 6, 6)).astype(np.float32)))
+        assert out.shape == (1, 2, 3, 3)
+
+    def test_global_avg_pool(self):
+        layer = nn.GlobalAvgPool2d()
+        out = layer(nn.Tensor(RNG.standard_normal((3, 5, 7, 7)).astype(np.float32)))
+        assert out.shape == (3, 5)
+
+    def test_flatten(self):
+        layer = nn.Flatten()
+        out = layer(nn.Tensor(np.zeros((2, 3, 4, 4), dtype=np.float32)))
+        assert out.shape == (2, 48)
+
+    def test_identity(self):
+        x = nn.Tensor(np.ones((2, 2)))
+        assert nn.Identity()(x) is x
+
+
+class TestDropoutLayer:
+    def test_train_vs_eval(self):
+        layer = nn.Dropout(0.5, rng=0)
+        x = nn.Tensor(np.ones((10, 10), dtype=np.float32))
+        train_out = layer(x)
+        assert (train_out.data == 0).any()
+        layer.eval()
+        eval_out = layer(x)
+        np.testing.assert_allclose(eval_out.data, x.data)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.5)
+
+
+class TestActivationsAndHeads:
+    def test_activation_modules(self):
+        x = nn.Tensor(np.array([[-1.0, 2.0]], dtype=np.float32))
+        assert np.allclose(nn.ReLU()(x).data, [[0, 2]])
+        assert np.allclose(nn.LeakyReLU(0.1)(x).data, [[-0.1, 2]])
+        assert nn.Sigmoid()(x).data.shape == (1, 2)
+        assert nn.Tanh()(x).data.shape == (1, 2)
+
+    def test_softmax_modules(self):
+        x = nn.Tensor(RNG.standard_normal((3, 4)).astype(np.float32))
+        probs = nn.Softmax()(x)
+        np.testing.assert_allclose(probs.data.sum(axis=-1), np.ones(3), rtol=1e-5)
+        logp = nn.LogSoftmax()(x)
+        np.testing.assert_allclose(np.exp(logp.data).sum(axis=-1), np.ones(3), rtol=1e-5)

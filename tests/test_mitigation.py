@@ -1,0 +1,180 @@
+"""Tests for the mitigation techniques: saliency, FAP, FAM and FAT."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.accelerator import FaultMap, SystolicArray, model_fault_masks
+from repro.mitigation import (
+    apply_fam,
+    apply_fap,
+    build_fap_masks,
+    compute_column_permutations,
+    fault_aware_retrain,
+    FaultAwareTrainer,
+    get_saliency_metric,
+    layer_column_permutation,
+    magnitude_saliency,
+    model_channel_saliency,
+    output_channel_saliency,
+    squared_saliency,
+    verify_masks_enforced,
+)
+from repro.models import MLP
+from repro.training import TrainingConfig, evaluate_accuracy
+
+
+@pytest.fixture
+def mlp_and_map(image_bundle):
+    features = int(np.prod(image_bundle.input_shape))
+    model = MLP(features, image_bundle.num_classes, hidden_sizes=(32,), seed=0)
+    fault_map = FaultMap.random(16, 16, 0.25, seed=4)
+    return model, fault_map
+
+
+class TestSaliency:
+    def test_magnitude_and_squared(self):
+        matrix = np.array([[1.0, -2.0], [0.5, 0.0]])
+        np.testing.assert_allclose(magnitude_saliency(matrix), np.abs(matrix))
+        np.testing.assert_allclose(squared_saliency(matrix), matrix ** 2)
+
+    def test_metric_lookup(self):
+        assert get_saliency_metric("L1") is magnitude_saliency
+        assert get_saliency_metric("l2") is squared_saliency
+        with pytest.raises(KeyError):
+            get_saliency_metric("taylor")
+
+    def test_output_channel_saliency_shape(self):
+        layer = nn.Linear(10, 6, rng=0)
+        saliency = output_channel_saliency(layer)
+        assert saliency.shape == (6,)
+        assert np.all(saliency >= 0)
+
+    def test_conv_channel_saliency(self):
+        layer = nn.Conv2d(3, 5, 3, rng=0)
+        assert output_channel_saliency(layer).shape == (5,)
+
+    def test_model_channel_saliency(self, mlp_and_map):
+        model, _ = mlp_and_map
+        saliency = model_channel_saliency(model)
+        assert set(saliency) == {"body.0", "body.2"}
+
+
+class TestFAP:
+    def test_apply_zeroes_masked_weights(self, mlp_and_map):
+        model, fault_map = mlp_and_map
+        result = apply_fap(model, fault_map)
+        assert verify_masks_enforced(model, result.masks)
+        assert result.masked_fraction == pytest.approx(0.25, abs=0.05)
+        assert result.num_masked_weights > 0
+        assert result.num_total_weights == sum(m.size for m in result.masks.values())
+        assert set(result.per_layer_fraction) == set(result.masks)
+
+    def test_accepts_systolic_array(self, mlp_and_map):
+        model, fault_map = mlp_and_map
+        array = SystolicArray(16, 16, fault_map=fault_map)
+        masks = build_fap_masks(model, array)
+        assert set(masks) == {"body.0", "body.2"}
+
+    def test_fap_reduces_accuracy(self, image_bundle):
+        from repro.training import Trainer
+
+        features = int(np.prod(image_bundle.input_shape))
+        model = MLP(features, image_bundle.num_classes, hidden_sizes=(24,), seed=0)
+        Trainer(
+            model, image_bundle.train, image_bundle.test,
+            TrainingConfig(learning_rate=0.1, batch_size=16, seed=0),
+        ).train(4.0)
+        clean = evaluate_accuracy(model, image_bundle.test)
+        apply_fap(model, FaultMap.random(16, 16, 0.6, seed=0))
+        faulty = evaluate_accuracy(model, image_bundle.test)
+        assert faulty <= clean
+
+    def test_verify_detects_violation(self, mlp_and_map):
+        model, fault_map = mlp_and_map
+        result = apply_fap(model, fault_map)
+        model.body[0].weight.data[result.masks["body.0"]] = 1.0
+        assert not verify_masks_enforced(model, result.masks)
+
+    def test_verify_handles_missing_layer(self, mlp_and_map):
+        model, _ = mlp_and_map
+        assert not verify_masks_enforced(model, {"ghost": np.zeros((2, 2), dtype=bool)})
+
+
+class TestFAM:
+    def test_permutation_is_valid(self, mlp_and_map):
+        model, fault_map = mlp_and_map
+        permutation = layer_column_permutation(model.body[0], fault_map)
+        assert sorted(permutation.tolist()) == list(range(fault_map.cols))
+
+    def test_permutations_for_all_layers(self, mlp_and_map):
+        model, fault_map = mlp_and_map
+        permutations = compute_column_permutations(model, fault_map)
+        assert set(permutations) == {"body.0", "body.2"}
+
+    def test_fam_does_not_increase_masked_saliency(self, mlp_and_map):
+        model, fault_map = mlp_and_map
+        result = apply_fam(model, fault_map, prune=False)
+        assert result.masked_saliency <= result.baseline_masked_saliency + 1e-9
+        assert 0.0 <= result.saliency_saving <= 1.0
+
+    def test_fam_masks_same_count_on_aligned_layers(self, mlp_and_map):
+        """For layers whose GEMM dims tile the array exactly, remapping columns
+        cannot change how many weights land on faulty PEs (only which ones)."""
+        model, fault_map = mlp_and_map
+        fam = apply_fam(model, fault_map, prune=False)
+        fap_masks = model_fault_masks(model, fault_map)
+        # body.0 is 128x32 on a 16x16 array: both dimensions are exact multiples.
+        assert fam.masks["body.0"].sum() == fap_masks["body.0"].sum()
+
+    def test_fam_can_reduce_masked_weights_on_unaligned_layers(self, mlp_and_map):
+        """The final layer uses only 4 of the 16 array columns; FAM may steer it
+        away from faulty columns, so it never masks more weights than naive FAP."""
+        model, fault_map = mlp_and_map
+        fam = apply_fam(model, fault_map, prune=False)
+        fap_masks = model_fault_masks(model, fault_map)
+        total_fam = sum(int(m.sum()) for m in fam.masks.values())
+        total_fap = sum(int(m.sum()) for m in fap_masks.values())
+        assert total_fam <= total_fap + int(fap_masks["body.2"].sum())
+
+    def test_prune_enforces_masks(self, mlp_and_map):
+        model, fault_map = mlp_and_map
+        result = apply_fam(model, fault_map, prune=True)
+        assert verify_masks_enforced(model, result.masks)
+
+
+class TestFAT:
+    def test_retraining_recovers_accuracy(self, image_bundle):
+        from repro.training import Trainer
+
+        features = int(np.prod(image_bundle.input_shape))
+        model = MLP(features, image_bundle.num_classes, hidden_sizes=(24,), seed=0)
+        config = TrainingConfig(learning_rate=0.1, batch_size=16, seed=0)
+        Trainer(model, image_bundle.train, image_bundle.test, config).train(4.0)
+
+        fault_map = FaultMap.random(16, 16, 0.5, seed=1)
+        result = fault_aware_retrain(
+            model, fault_map, image_bundle, epochs=2.0, config=config,
+            eval_checkpoints=[0.5, 1.0],
+        )
+        assert result.final_accuracy >= result.initial_accuracy
+        assert result.epochs_trained == pytest.approx(2.0)
+        assert verify_masks_enforced(model, result.masks)
+        assert 0.0 < result.masked_fraction < 1.0
+        assert result.history.epochs == [0.0, 0.5, 1.0, 2.0]
+
+    def test_accepts_precomputed_masks(self, image_bundle):
+        features = int(np.prod(image_bundle.input_shape))
+        model = MLP(features, image_bundle.num_classes, hidden_sizes=(16,), seed=0)
+        masks = build_fap_masks(model, FaultMap.random(8, 8, 0.2, seed=0))
+        result = fault_aware_retrain(
+            model, masks, image_bundle, epochs=0.25,
+            config=TrainingConfig(learning_rate=0.05, batch_size=16, seed=0),
+        )
+        assert result.masks is masks
+
+    def test_trainer_requires_masks(self, image_bundle):
+        features = int(np.prod(image_bundle.input_shape))
+        model = MLP(features, image_bundle.num_classes, hidden_sizes=(16,), seed=0)
+        with pytest.raises(ValueError):
+            FaultAwareTrainer(model, None, image_bundle.train, image_bundle.test)

@@ -1,0 +1,142 @@
+"""Tests for the model zoo (MLP, LeNet-5, VGG) and the registry."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import (
+    MLP,
+    LeNet5,
+    VGG,
+    VGG_CONFIGS,
+    available_models,
+    build_model,
+    register_model,
+    vgg11,
+    vgg11_mini,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def _batch(shape, n=2):
+    return nn.Tensor(RNG.standard_normal((n,) + tuple(shape)).astype(np.float32))
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        model = MLP(20, 5, hidden_sizes=(16, 8), seed=0)
+        assert model(_batch((20,), n=3)).shape == (3, 5)
+
+    def test_flattens_images(self):
+        model = MLP(2 * 4 * 4, 3, hidden_sizes=(8,), seed=0)
+        assert model(_batch((2, 4, 4))).shape == (2, 3)
+
+    def test_dropout_layers_added(self):
+        model = MLP(10, 2, hidden_sizes=(8,), dropout=0.5, seed=0)
+        assert any(isinstance(m, nn.Dropout) for m in model.modules())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MLP(0, 3)
+        with pytest.raises(ValueError):
+            MLP(4, 1)
+        with pytest.raises(ValueError):
+            MLP(4, 3, hidden_sizes=(0,))
+
+    def test_deterministic_by_seed(self):
+        a = MLP(6, 3, hidden_sizes=(4,), seed=9)
+        b = MLP(6, 3, hidden_sizes=(4,), seed=9)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_allclose(pa.data, pb.data)
+
+
+class TestLeNet5:
+    def test_forward_shape(self):
+        model = LeNet5(input_shape=(3, 16, 16), num_classes=7, seed=0)
+        assert model(_batch((3, 16, 16))).shape == (2, 7)
+
+    def test_works_on_minimum_size(self):
+        model = LeNet5(input_shape=(1, 12, 12), num_classes=4, seed=0)
+        assert model(_batch((1, 12, 12))).shape == (2, 4)
+
+    def test_too_small_input_raises(self):
+        with pytest.raises(ValueError):
+            LeNet5(input_shape=(1, 8, 8))
+        with pytest.raises(ValueError):
+            LeNet5(input_shape=(8, 8))
+
+
+class TestVGG:
+    def test_vgg11_layer_plan(self):
+        model = vgg11(input_shape=(3, 32, 32), num_classes=10, width_multiplier=0.125, seed=0)
+        conv_layers = [m for m in model.modules() if isinstance(m, nn.Conv2d)]
+        pool_layers = [m for m in model.modules() if isinstance(m, nn.MaxPool2d)]
+        assert len(conv_layers) == 8  # VGG11 has 8 conv layers
+        assert len(pool_layers) == 5
+        assert model(_batch((3, 32, 32))).shape == (2, 10)
+
+    def test_width_multiplier_scales_channels(self):
+        narrow = vgg11(input_shape=(3, 32, 32), width_multiplier=0.125, seed=0)
+        wide = vgg11(input_shape=(3, 32, 32), width_multiplier=0.25, seed=0)
+        assert wide.num_parameters() > narrow.num_parameters()
+
+    def test_small_input_skips_pools(self):
+        model = vgg11(input_shape=(3, 8, 8), num_classes=10, width_multiplier=0.125, seed=0)
+        assert model.skipped_pools >= 2
+        assert model(_batch((3, 8, 8))).shape == (2, 10)
+        assert model.final_spatial >= 1
+
+    def test_batch_norm_toggle(self):
+        with_bn = vgg11(input_shape=(3, 16, 16), width_multiplier=0.125, batch_norm=True, seed=0)
+        without_bn = vgg11(input_shape=(3, 16, 16), width_multiplier=0.125, batch_norm=False, seed=0)
+        assert any(isinstance(m, nn.BatchNorm2d) for m in with_bn.modules())
+        assert not any(isinstance(m, nn.BatchNorm2d) for m in without_bn.modules())
+
+    def test_vgg11_mini_named(self):
+        model = vgg11_mini(input_shape=(3, 16, 16), seed=0)
+        assert model.name == "vgg11_mini"
+        assert model(_batch((3, 16, 16))).shape == (2, 10)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            VGG(VGG_CONFIGS["vgg11"], input_shape=(3, 32), num_classes=10)
+        with pytest.raises(ValueError):
+            VGG(VGG_CONFIGS["vgg11"], width_multiplier=0.0)
+
+    def test_vgg13_and_vgg16_have_more_convs(self):
+        def conv_count(name):
+            model = build_model(name, (3, 32, 32), 10, width_multiplier=0.0625)
+            return sum(1 for m in model.modules() if isinstance(m, nn.Conv2d))
+
+        assert conv_count("vgg11") == 8
+        assert conv_count("vgg13") == 10
+        assert conv_count("vgg16") == 13
+
+
+class TestRegistry:
+    def test_available_models(self):
+        names = available_models()
+        for expected in ("mlp", "lenet5", "vgg11", "vgg11_mini", "vgg13", "vgg16"):
+            assert expected in names
+
+    def test_build_by_name(self):
+        model = build_model("mlp", (3, 8, 8), 5, seed=0, hidden_sizes=(16,))
+        assert model(_batch((3, 8, 8))).shape == (2, 5)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build_model("resnet900", (3, 8, 8), 5)
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ValueError):
+            register_model("mlp", lambda **kwargs: None)
+
+    def test_register_custom_model(self):
+        @register_model("tiny-linear-test")
+        def _build(input_shape, num_classes, seed=0):
+            features = int(np.prod(input_shape))
+            return nn.Linear(features, num_classes, rng=seed)
+
+        model = build_model("tiny-linear-test", (4,), 2)
+        assert model(_batch((4,))).shape == (2, 2)

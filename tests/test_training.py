@@ -1,0 +1,195 @@
+"""Tests for the training loop: fractional epochs, checkpoints, mask enforcement."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import DataLoader
+from repro.models import MLP
+from repro.training import (
+    Trainer,
+    TrainingConfig,
+    apply_weight_masks,
+    epochs_to_steps,
+    evaluate_accuracy,
+    evaluate_loss,
+    mask_gradients,
+    train_classifier,
+)
+
+
+class TestTrainingConfig:
+    def test_defaults_valid(self):
+        config = TrainingConfig()
+        assert config.optimizer == "sgd"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(optimizer="lbfgs")
+        with pytest.raises(ValueError):
+            TrainingConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            TrainingConfig(batch_size=0)
+
+    def test_build_optimizer_variants(self):
+        params = MLP(4, 2, hidden_sizes=(), seed=0).parameters()
+        assert isinstance(TrainingConfig(optimizer="sgd").build_optimizer(params), nn.SGD)
+        assert isinstance(TrainingConfig(optimizer="adam").build_optimizer(params), nn.Adam)
+        assert isinstance(TrainingConfig(optimizer="adamw").build_optimizer(params), nn.AdamW)
+
+
+class TestEpochAccounting:
+    def test_epochs_to_steps(self):
+        assert epochs_to_steps(0.0, 10) == 0
+        assert epochs_to_steps(0.05, 10) == 1  # at least one step for tiny amounts
+        assert epochs_to_steps(1.0, 10) == 10
+        assert epochs_to_steps(2.5, 10) == 25
+        with pytest.raises(ValueError):
+            epochs_to_steps(-1.0, 10)
+        with pytest.raises(ValueError):
+            epochs_to_steps(1.0, 0)
+
+
+class TestEvaluation:
+    def test_accuracy_and_loss(self, blob_bundle):
+        model = MLP(blob_bundle.input_shape[0], blob_bundle.num_classes, hidden_sizes=(16,), seed=0)
+        accuracy = evaluate_accuracy(model, blob_bundle.test)
+        loss = evaluate_loss(model, blob_bundle.test)
+        assert 0.0 <= accuracy <= 1.0
+        assert loss > 0
+
+    def test_accepts_dataloader(self, blob_bundle):
+        model = MLP(blob_bundle.input_shape[0], blob_bundle.num_classes, hidden_sizes=(16,), seed=0)
+        loader = DataLoader(blob_bundle.test, batch_size=8)
+        assert 0.0 <= evaluate_accuracy(model, loader) <= 1.0
+
+    def test_restores_training_mode(self, blob_bundle):
+        model = MLP(blob_bundle.input_shape[0], blob_bundle.num_classes, hidden_sizes=(16,), seed=0)
+        model.train()
+        evaluate_accuracy(model, blob_bundle.test)
+        assert model.training
+        model.eval()
+        evaluate_accuracy(model, blob_bundle.test)
+        assert not model.training
+
+
+class TestMaskHelpers:
+    def test_apply_weight_masks(self):
+        model = MLP(6, 3, hidden_sizes=(4,), seed=0)
+        masks = {"body.0": np.zeros((4, 6), dtype=bool)}
+        masks["body.0"][0, :] = True
+        apply_weight_masks(model, masks)
+        np.testing.assert_allclose(model.body[0].weight.data[0], np.zeros(6))
+        assert not np.allclose(model.body[0].weight.data[1], 0)
+
+    def test_apply_none_is_noop(self):
+        model = MLP(6, 3, hidden_sizes=(4,), seed=0)
+        before = model.body[0].weight.data.copy()
+        apply_weight_masks(model, None)
+        np.testing.assert_allclose(model.body[0].weight.data, before)
+
+    def test_unknown_layer_raises(self):
+        model = MLP(6, 3, hidden_sizes=(4,), seed=0)
+        with pytest.raises(KeyError):
+            apply_weight_masks(model, {"nope": np.zeros((4, 6), dtype=bool)})
+
+    def test_shape_mismatch_raises(self):
+        model = MLP(6, 3, hidden_sizes=(4,), seed=0)
+        with pytest.raises(ValueError):
+            apply_weight_masks(model, {"body.0": np.zeros((2, 2), dtype=bool)})
+
+    def test_mask_gradients(self):
+        model = MLP(6, 3, hidden_sizes=(4,), seed=0)
+        x = nn.Tensor(np.ones((2, 6), dtype=np.float32))
+        model(x).sum().backward()
+        mask = np.zeros((4, 6), dtype=bool)
+        mask[1, :] = True
+        mask_gradients(model, {"body.0": mask})
+        np.testing.assert_allclose(model.body[0].weight.grad[1], np.zeros(6))
+
+
+class TestTrainer:
+    def _make(self, bundle, masks=None, lr=0.1):
+        model = MLP(bundle.input_shape[0], bundle.num_classes, hidden_sizes=(24,), seed=0)
+        config = TrainingConfig(learning_rate=lr, batch_size=16, seed=0)
+        return model, Trainer(model, bundle.train, bundle.test, config=config, masks=masks)
+
+    def test_training_improves_accuracy(self, blob_bundle):
+        model, trainer = self._make(blob_bundle)
+        history = trainer.train(3.0)
+        assert history.records[0].eval_accuracy < history.final_accuracy
+        assert history.final_accuracy > 0.8
+        assert history.total_epochs == pytest.approx(3.0)
+
+    def test_fractional_epoch_runs_at_least_one_step(self, blob_bundle):
+        model, trainer = self._make(blob_bundle)
+        history = trainer.train(0.05)
+        assert trainer.steps_taken >= 1
+        assert history.total_epochs == pytest.approx(0.05)
+
+    def test_checkpoints_recorded_in_order(self, blob_bundle):
+        model, trainer = self._make(blob_bundle)
+        history = trainer.train(1.0, eval_checkpoints=[0.25, 0.5])
+        assert history.epochs == [0.0, 0.25, 0.5, 1.0]
+        assert all(
+            later.steps >= earlier.steps
+            for earlier, later in zip(history.records, history.records[1:])
+        )
+
+    def test_zero_epochs_only_evaluates(self, blob_bundle):
+        model, trainer = self._make(blob_bundle)
+        history = trainer.train(0.0)
+        assert trainer.steps_taken == 0
+        assert len(history.records) == 1
+
+    def test_masks_enforced_throughout_training(self, blob_bundle):
+        model = MLP(blob_bundle.input_shape[0], blob_bundle.num_classes, hidden_sizes=(24,), seed=0)
+        mask = np.zeros((24, blob_bundle.input_shape[0]), dtype=bool)
+        mask[::2, :] = True
+        masks = {"body.0": mask}
+        trainer = Trainer(
+            model, blob_bundle.train, blob_bundle.test,
+            config=TrainingConfig(learning_rate=0.1, batch_size=16, seed=0), masks=masks,
+        )
+        # Masked at construction (FAP applied).
+        np.testing.assert_allclose(model.body[0].weight.data[mask], 0.0)
+        trainer.train(1.0)
+        np.testing.assert_allclose(model.body[0].weight.data[mask], 0.0)
+        # Unmasked weights must have been updated.
+        assert not np.allclose(model.body[0].weight.data[~mask], 0.0)
+
+    def test_epochs_taken_property(self, blob_bundle):
+        model, trainer = self._make(blob_bundle)
+        trainer.train(0.5)
+        assert trainer.epochs_taken == pytest.approx(0.5, abs=0.1)
+
+    def test_negative_epochs_rejected(self, blob_bundle):
+        _, trainer = self._make(blob_bundle)
+        with pytest.raises(ValueError):
+            trainer.train(-1.0)
+
+
+class TestTrainingHistory:
+    def test_history_queries(self, blob_bundle):
+        model = MLP(blob_bundle.input_shape[0], blob_bundle.num_classes, hidden_sizes=(24,), seed=0)
+        history = train_classifier(
+            model, blob_bundle.train, blob_bundle.test, epochs=2.0,
+            config=TrainingConfig(learning_rate=0.1, batch_size=16, seed=0),
+            eval_checkpoints=[0.5, 1.0],
+        )
+        assert history.accuracy_at(1.0) == history.records[2].eval_accuracy
+        target = history.final_accuracy
+        assert history.epochs_to_reach(target) is not None
+        assert history.epochs_to_reach(1.1) is None
+        payload = history.as_dict()
+        assert set(payload) == {"epochs", "accuracy", "train_loss"}
+
+    def test_empty_history_raises(self):
+        from repro.training import TrainingHistory
+
+        history = TrainingHistory()
+        with pytest.raises(ValueError):
+            _ = history.final_accuracy
+        with pytest.raises(ValueError):
+            history.accuracy_at(1.0)
+        assert history.total_epochs == 0.0
