@@ -1,0 +1,67 @@
+"""Benchmarks of the campaign engine: serial vs parallel throughput.
+
+The campaign engine shards per-chip fault-aware retraining across worker
+processes.  These benchmarks retrain a slice of the fast-preset chip
+population under a fixed budget once serially and once through a
+multiprocessing pool, record chips/second for both, and assert the paper's
+invariant that parallelism must not change results: serial and parallel runs
+are bit-identical.
+"""
+
+import multiprocessing
+
+import pytest
+
+from bench_utils import run_once
+from repro.campaign import CampaignEngine
+from repro.core.chips import ChipPopulation
+from repro.core.selection import FixedEpochPolicy
+
+BUDGET = 0.25
+PARALLEL_JOBS = max(2, min(4, multiprocessing.cpu_count()))
+
+
+@pytest.fixture(scope="module")
+def bench_population(fast_population):
+    """A slice of the shared population (enough work to amortize pool startup)."""
+    return ChipPopulation(fast_population.chips[:8])
+
+
+def _record_throughput(benchmark, engine):
+    report = engine.last_report
+    benchmark.extra_info["jobs"] = report.jobs
+    benchmark.extra_info["chips"] = report.total_chips
+    benchmark.extra_info["chips_per_second"] = round(report.chips_per_second, 3)
+    print(f"\ncampaign throughput: {report.describe()} "
+          f"({report.chips_per_second:.2f} chips/s)")
+
+
+def test_bench_campaign_serial(benchmark, fast_context, bench_population):
+    engine = CampaignEngine(fast_context, jobs=1)
+    campaign = run_once(benchmark, engine.run, bench_population, FixedEpochPolicy(BUDGET))
+    _record_throughput(benchmark, engine)
+    assert campaign.num_chips == len(bench_population)
+    assert campaign.average_epochs == pytest.approx(BUDGET, rel=0.05)
+
+
+def test_bench_campaign_parallel_matches_serial(benchmark, fast_context, bench_population):
+    serial = CampaignEngine(fast_context, jobs=1).run(bench_population, FixedEpochPolicy(BUDGET))
+    engine = CampaignEngine(fast_context, jobs=PARALLEL_JOBS)
+    campaign = run_once(benchmark, engine.run, bench_population, FixedEpochPolicy(BUDGET))
+    _record_throughput(benchmark, engine)
+    # Sharding must be invisible in the results: bit-identical to serial.
+    assert campaign.results == serial.results
+
+
+def test_bench_campaign_resume_is_free(benchmark, fast_context, bench_population, tmp_path_factory):
+    """A warm store makes re-running a campaign O(read) instead of O(retrain)."""
+    store_base = tmp_path_factory.mktemp("campaign-store")
+    CampaignEngine(fast_context, jobs=1, store_base=store_base).run(
+        bench_population, FixedEpochPolicy(BUDGET)
+    )
+    engine = CampaignEngine(fast_context, jobs=1, store_base=store_base)
+    campaign = run_once(benchmark, engine.run, bench_population, FixedEpochPolicy(BUDGET))
+    _record_throughput(benchmark, engine)
+    assert engine.last_report.executed == 0
+    assert engine.last_report.skipped == len(bench_population)
+    assert campaign.num_chips == len(bench_population)

@@ -1,0 +1,28 @@
+"""Parallel campaign engine: sharded, resumable chip-population runs.
+
+This package is the layer between the per-chip math of
+:mod:`repro.core.reduce` and the figure runners: it freezes Step 2 decisions
+into picklable per-chip jobs, shards them across worker processes and
+persists results to a content-addressed JSONL store that supports resuming
+interrupted campaigns.
+"""
+
+from repro.campaign.engine import CampaignEngine, CampaignReport, run_campaign
+from repro.campaign.jobs import ChipJob, build_jobs, execute_job
+from repro.campaign.store import (
+    CampaignStore,
+    CampaignStoreError,
+    campaign_fingerprint,
+)
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignReport",
+    "run_campaign",
+    "ChipJob",
+    "build_jobs",
+    "execute_job",
+    "CampaignStore",
+    "CampaignStoreError",
+    "campaign_fingerprint",
+]

@@ -1,0 +1,302 @@
+"""Sharded, resumable campaign engine.
+
+The engine turns ``ReduceFramework.retrain_population`` into a dispatchable
+workload: Step 2 (policy resolution) runs once in the parent process and is
+frozen into picklable :class:`~repro.campaign.jobs.ChipJob` units, which are
+then sharded across a ``multiprocessing`` pool (``jobs > 1``) or executed
+inline (``jobs == 1``, the exact legacy code path).  With a store base
+directory the engine persists every finished chip to a content-addressed
+JSONL store and skips already-completed chips on restart, so a killed
+campaign resumes where it left off.
+
+Determinism: per-chip retraining seeds depend only on the chip id (see
+``ReduceFramework.retrain_chip``), every execution restores the same
+pre-trained weights first, and results are re-ordered to population order —
+so serial, parallel and resumed runs produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.campaign.jobs import ChipJob, build_jobs, execute_job
+from repro.campaign.store import CampaignStore, campaign_fingerprint
+from repro.core.chips import ChipPopulation
+from repro.core.reduce import CampaignResult, ChipRetrainingResult, ReduceFramework
+from repro.core.selection import FixedEpochPolicy, RetrainingPolicy
+from repro.utils.logging import get_logger
+from repro.utils.timing import Timer, format_duration
+
+logger = get_logger("campaign.engine")
+
+PathLike = Union[str, Path]
+
+# Per-worker framework, built once by the pool initializer.  Under the
+# ``fork`` start method the worker inherits the parent's in-memory context
+# cache, so initialization is instant; under ``spawn`` the context is rebuilt
+# (hitting the on-disk pre-trained-state cache when one is configured).
+_WORKER_FRAMEWORK: Optional[ReduceFramework] = None
+
+
+def _initialize_worker(preset, disk_cache_dir: Optional[str]) -> None:
+    global _WORKER_FRAMEWORK
+    from repro.experiments.common import ExperimentContext
+
+    context = ExperimentContext.from_preset(preset, disk_cache_dir=disk_cache_dir)
+    _WORKER_FRAMEWORK = context.framework()
+
+
+def _execute_in_worker(job: ChipJob) -> ChipRetrainingResult:
+    assert _WORKER_FRAMEWORK is not None, "worker initializer did not run"
+    return execute_job(_WORKER_FRAMEWORK, job)
+
+
+def _start_method() -> str:
+    # Fork is preferred where reliable (workers inherit the parent's context
+    # cache for free), but macOS system frameworks are not fork-safe — the
+    # reason CPython made spawn the macOS default — so fork is used on Linux
+    # only.  Spawned workers rebuild their context, hitting the on-disk
+    # pre-trained-state cache when one is configured.
+    if sys.platform.startswith("linux") and "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    return "spawn"
+
+
+@dataclasses.dataclass
+class CampaignReport:
+    """Bookkeeping of one engine run (what executed, what was resumed)."""
+
+    policy_name: str
+    total_chips: int
+    executed: int
+    skipped: int
+    jobs: int
+    elapsed_seconds: float
+    fingerprint: Optional[str] = None
+    store_dir: Optional[Path] = None
+
+    @property
+    def chips_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("inf") if self.executed else 0.0
+        return self.executed / self.elapsed_seconds
+
+    def describe(self) -> str:
+        parts = [
+            f"policy={self.policy_name}",
+            f"chips={self.total_chips}",
+            f"executed={self.executed}",
+            f"skipped={self.skipped}",
+            f"jobs={self.jobs}",
+            f"elapsed={format_duration(self.elapsed_seconds)}",
+        ]
+        if self.store_dir is not None:
+            parts.append(f"store={self.store_dir}")
+        return " ".join(parts)
+
+
+class CampaignEngine:
+    """Run retraining campaigns over chip populations, sharded and resumable.
+
+    Parameters
+    ----------
+    context:
+        An :class:`~repro.experiments.common.ExperimentContext` providing the
+        pre-trained model, dataset and array.
+    jobs:
+        Number of worker processes; ``1`` (the default) executes inline with
+        no multiprocessing involved.
+    store_base:
+        Base directory for persistent result stores.  ``None`` keeps results
+        in memory only (the legacy behaviour).
+    resume:
+        When a store is used, skip chips whose results are already recorded.
+    progress:
+        Log one line per completed chip.
+    chunk_size:
+        Override the number of jobs handed to a worker at a time.
+    disk_cache_dir:
+        Forwarded to workers so spawned processes can load the pre-trained
+        state from the on-disk context cache instead of re-pre-training.
+    """
+
+    def __init__(
+        self,
+        context,
+        jobs: int = 1,
+        store_base: Optional[PathLike] = None,
+        resume: bool = True,
+        progress: bool = False,
+        chunk_size: Optional[int] = None,
+        disk_cache_dir: Optional[PathLike] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.context = context
+        self.jobs = int(jobs)
+        self.store_base = Path(store_base) if store_base is not None else None
+        self.resume = resume
+        self.progress = progress
+        self.chunk_size = chunk_size
+        self.disk_cache_dir = str(disk_cache_dir) if disk_cache_dir is not None else None
+        self.last_report: Optional[CampaignReport] = None
+
+    # -- public API ---------------------------------------------------------------
+
+    def run(self, population: ChipPopulation, policy: RetrainingPolicy) -> CampaignResult:
+        """Execute Step 3 for every chip under ``policy`` (Steps 1+2 given)."""
+        framework = self.context.framework()
+        job_list = build_jobs(framework, population, policy)
+        target_accuracy = framework.target_accuracy
+        clean_accuracy = framework.clean_accuracy
+
+        store: Optional[CampaignStore] = None
+        fingerprint: Optional[str] = None
+        known: Dict[str, ChipRetrainingResult] = {}
+        if self.store_base is not None:
+            fingerprint = campaign_fingerprint(
+                self.context.preset, policy.name, target_accuracy, job_list
+            )
+            store = CampaignStore.open(
+                self.store_base,
+                fingerprint,
+                manifest={
+                    "policy": policy.name,
+                    "preset": self.context.preset.name,
+                    "num_chips": len(job_list),
+                    "target_accuracy": target_accuracy,
+                    "clean_accuracy": clean_accuracy,
+                    "array_shape": list(population.array_shape),
+                },
+            )
+            if self.resume:
+                store.compact()
+                wanted = {job.chip_id for job in job_list}
+                known = {
+                    chip_id: result
+                    for chip_id, result in store.completed().items()
+                    if chip_id in wanted
+                }
+            else:
+                store.clear_results()
+
+        pending = [job for job in job_list if job.chip_id not in known]
+        if known:
+            logger.info(
+                "campaign %s: resuming, %d/%d chips already recorded in %s",
+                policy.name,
+                len(known),
+                len(job_list),
+                store.directory if store is not None else "?",
+            )
+
+        timer = Timer().start()
+        done = len(known)
+
+        def record(result: ChipRetrainingResult) -> None:
+            nonlocal done
+            known[result.chip_id] = result
+            if store is not None:
+                store.append(result)
+            done += 1
+            if self.progress:
+                logger.info(
+                    "campaign %s: %d/%d chip %s rate=%.3f epochs=%.3f acc=%.3f meets=%s",
+                    policy.name,
+                    done,
+                    len(job_list),
+                    result.chip_id,
+                    result.fault_rate,
+                    result.epochs_trained,
+                    result.accuracy_after,
+                    result.meets_constraint,
+                )
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                self._execute_parallel(pending, record)
+            else:
+                for job in pending:
+                    record(execute_job(framework, job))
+        elapsed = timer.stop()
+
+        self.last_report = CampaignReport(
+            policy_name=policy.name,
+            total_chips=len(job_list),
+            executed=len(pending),
+            skipped=len(job_list) - len(pending),
+            jobs=self.jobs,
+            elapsed_seconds=elapsed,
+            fingerprint=fingerprint,
+            store_dir=store.directory if store is not None else None,
+        )
+        logger.info("campaign finished: %s", self.last_report.describe())
+
+        results = [known[job.chip_id] for job in job_list]
+        return CampaignResult(
+            policy_name=policy.name,
+            target_accuracy=target_accuracy,
+            clean_accuracy=clean_accuracy,
+            results=results,
+        )
+
+    def run_reduce(self, population: ChipPopulation, statistic: str = "max") -> CampaignResult:
+        """Steps 1+2+3 with the resilience-driven policy (Step 1 cached)."""
+        self.context.resilience_profile()
+        policy = self.context.framework().build_policy(statistic)
+        return self.run(population, policy)
+
+    def run_fixed(self, population: ChipPopulation, epochs: float) -> CampaignResult:
+        """The fixed-budget baseline through the engine."""
+        return self.run(population, FixedEpochPolicy(epochs))
+
+    # -- parallel dispatch ----------------------------------------------------------
+
+    def _execute_parallel(
+        self,
+        pending: Sequence[ChipJob],
+        record: Callable[[ChipRetrainingResult], None],
+    ) -> None:
+        workers = min(self.jobs, len(pending))
+        chunk = self.chunk_size
+        if chunk is None:
+            # Small chunks keep the store fresh (resume granularity) while
+            # amortizing IPC over a few chips per dispatch.
+            chunk = max(1, len(pending) // (workers * 4))
+        mp_context = multiprocessing.get_context(_start_method())
+        logger.info(
+            "campaign: dispatching %d chips across %d workers (start=%s, chunksize=%d)",
+            len(pending),
+            workers,
+            mp_context.get_start_method(),
+            chunk,
+        )
+        with mp_context.Pool(
+            processes=workers,
+            initializer=_initialize_worker,
+            initargs=(self.context.preset, self.disk_cache_dir),
+        ) as pool:
+            for result in pool.imap_unordered(_execute_in_worker, pending, chunksize=chunk):
+                record(result)
+
+
+def run_campaign(
+    context,
+    population: ChipPopulation,
+    policy: RetrainingPolicy,
+    jobs: int = 1,
+    store_base: Optional[PathLike] = None,
+    resume: bool = True,
+    progress: bool = False,
+) -> CampaignResult:
+    """One-call convenience wrapper around :class:`CampaignEngine`."""
+    engine = CampaignEngine(
+        context, jobs=jobs, store_base=store_base, resume=resume, progress=progress
+    )
+    return engine.run(population, policy)

@@ -1,0 +1,91 @@
+"""Work-unit layer of the campaign engine.
+
+The Step 2+3 slice of the Reduce flow for one chip — look up the retraining
+amount, restore the pre-trained weights, retrain under the chip's fault masks
+and evaluate against the constraint — is embarrassingly parallel across a
+chip population.  A :class:`ChipJob` captures everything that slice needs
+beyond the (shared, pre-trained) framework as plain JSON-compatible data:
+
+* the serialized chip (``Chip.to_dict()``: id + fault-map coordinates),
+* the retraining amount chosen by the policy in the parent process, and
+* the accuracy target resolved once against the clean accuracy.
+
+Jobs are therefore picklable, hashable enough to fingerprint, and executing
+one is a pure function of ``(framework pre-trained state, job)``: the
+retraining seed is derived from the chip id via ``derive_seed`` inside
+:meth:`ReduceFramework.retrain_chip`, so the result does not depend on which
+process runs the job or in what order jobs complete.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List
+
+from repro.core.chips import Chip, ChipPopulation
+from repro.core.reduce import ChipRetrainingResult, ReduceFramework
+from repro.core.selection import RetrainingPolicy
+
+
+@dataclasses.dataclass(frozen=True)
+class ChipJob:
+    """One chip's select+retrain+evaluate step, as a self-contained unit."""
+
+    chip: Dict[str, Any]
+    epochs: float
+    target_accuracy: float
+    policy_name: str
+
+    def __post_init__(self) -> None:
+        if self.epochs < 0:
+            raise ValueError("epochs must be non-negative")
+
+    @property
+    def chip_id(self) -> str:
+        return str(self.chip["chip_id"])
+
+    def to_chip(self) -> Chip:
+        return Chip.from_dict(self.chip)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChipJob":
+        return cls(
+            chip=dict(data["chip"]),
+            epochs=float(data["epochs"]),
+            target_accuracy=float(data["target_accuracy"]),
+            policy_name=str(data["policy_name"]),
+        )
+
+
+def build_jobs(
+    framework: ReduceFramework,
+    population: ChipPopulation,
+    policy: RetrainingPolicy,
+) -> List[ChipJob]:
+    """Resolve a policy over a population into per-chip jobs (Step 2 output).
+
+    Jobs are returned in population order; the campaign engine preserves that
+    order in its results regardless of completion order, so serial and
+    parallel runs are directly comparable.
+    """
+    amounts = policy.epochs_for_population(population)
+    target = framework.target_accuracy
+    return [
+        ChipJob(
+            chip=chip.to_dict(),
+            epochs=float(amounts[chip.chip_id]),
+            target_accuracy=target,
+            policy_name=policy.name,
+        )
+        for chip in population
+    ]
+
+
+def execute_job(framework: ReduceFramework, job: ChipJob) -> ChipRetrainingResult:
+    """Run one job against a framework holding the pre-trained weights."""
+    return framework.retrain_chip(
+        job.to_chip(), job.epochs, target_accuracy=job.target_accuracy
+    )

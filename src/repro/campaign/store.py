@@ -1,0 +1,186 @@
+"""Persistent, resumable result store for retraining campaigns.
+
+A campaign's identity is a *fingerprint*: a SHA-256 digest over the preset,
+the policy name, the resolved accuracy target and every job's (chip,
+retraining amount).  The store lives in a content-addressed directory
+
+    <base>/<policy>-<fingerprint[:16]>/
+        manifest.json    # campaign metadata, written atomically
+        results.jsonl    # one ChipRetrainingResult per line, appended + fsynced
+
+Results are appended (and fsynced) as chips complete, so a killed campaign
+loses at most the chip that was in flight.  On restart, completed chips are
+read back and skipped; a torn trailing line from a mid-write kill is
+tolerated and simply re-executed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence, Union
+
+from repro.core.reduce import ChipRetrainingResult
+from repro.utils.config import config_to_dict, save_json
+from repro.utils.logging import get_logger
+
+logger = get_logger("campaign.store")
+
+PathLike = Union[str, Path]
+
+STORE_FORMAT_VERSION = 1
+
+
+class CampaignStoreError(RuntimeError):
+    """Raised when a store directory does not match the requested campaign."""
+
+
+def campaign_fingerprint(
+    preset: Any,
+    policy_name: str,
+    target_accuracy: float,
+    jobs: Sequence[Any],
+) -> str:
+    """Content fingerprint of a campaign: preset + policy + per-chip work.
+
+    Two campaigns share a fingerprint exactly when re-running one can safely
+    reuse the other's per-chip results: the experiment inputs, the resolved
+    accuracy target and every chip's fault map and retraining amount agree.
+    """
+    payload = {
+        "version": STORE_FORMAT_VERSION,
+        "preset": config_to_dict(preset),
+        "policy": str(policy_name),
+        "target_accuracy": float(target_accuracy),
+        "jobs": [{"chip": job.chip, "epochs": job.epochs} for job in jobs],
+    }
+    digest = hashlib.sha256(json.dumps(payload, sort_keys=True).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class CampaignStore:
+    """JSONL-backed result store for one campaign directory."""
+
+    MANIFEST_NAME = "manifest.json"
+    RESULTS_NAME = "results.jsonl"
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+
+    # -- paths ------------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / self.MANIFEST_NAME
+
+    @property
+    def results_path(self) -> Path:
+        return self.directory / self.RESULTS_NAME
+
+    # -- creation ----------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        base_dir: PathLike,
+        fingerprint: str,
+        manifest: Dict[str, Any],
+    ) -> "CampaignStore":
+        """Open (or create) the content-addressed store for a fingerprint."""
+        policy = str(manifest.get("policy", "campaign"))
+        directory = Path(base_dir) / f"{policy}-{fingerprint[:16]}"
+        store = cls(directory)
+        store.directory.mkdir(parents=True, exist_ok=True)
+        existing = store.read_manifest()
+        if existing is not None:
+            stored = existing.get("fingerprint")
+            if stored != fingerprint:
+                raise CampaignStoreError(
+                    f"store at {store.directory} belongs to campaign {stored!r}, "
+                    f"not {fingerprint!r}"
+                )
+        else:
+            payload = dict(manifest)
+            payload["fingerprint"] = fingerprint
+            payload["version"] = STORE_FORMAT_VERSION
+            save_json(payload, store.manifest_path, atomic=True)
+        return store
+
+    def read_manifest(self) -> Optional[Dict[str, Any]]:
+        if not self.manifest_path.exists():
+            return None
+        try:
+            with self.manifest_path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    # -- results ------------------------------------------------------------------
+
+    def append(self, result: ChipRetrainingResult) -> None:
+        """Durably append one chip result (flushed + fsynced per line)."""
+        line = json.dumps(result.to_dict(), sort_keys=True)
+        with self.results_path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def completed(self) -> "OrderedDict[str, ChipRetrainingResult]":
+        """Results recorded so far, keyed by chip id (last write wins).
+
+        Lines that fail to parse — e.g. a torn final line left by a killed
+        process — are skipped with a warning so a resumed campaign simply
+        re-runs those chips.
+        """
+        results: "OrderedDict[str, ChipRetrainingResult]" = OrderedDict()
+        if not self.results_path.exists():
+            return results
+        with self.results_path.open("r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    result = ChipRetrainingResult.from_dict(json.loads(line))
+                except (ValueError, KeyError, TypeError):
+                    logger.warning(
+                        "skipping unreadable line %d of %s (torn write?)",
+                        lineno,
+                        self.results_path,
+                    )
+                    continue
+                results[result.chip_id] = result
+        return results
+
+    def compact(self) -> int:
+        """Rewrite the results file with only valid, deduplicated lines.
+
+        Run before resuming: a torn trailing line left by a killed process
+        has no newline, so appending straight after it would corrupt the next
+        result.  Returns the number of results kept.
+        """
+        if not self.results_path.exists():
+            return 0
+        results = self.completed()
+        tmp = self.results_path.with_name(self.results_path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            for result in results.values():
+                handle.write(json.dumps(result.to_dict(), sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.results_path)
+        return len(results)
+
+    def num_recorded(self) -> int:
+        return len(self.completed())
+
+    def clear_results(self) -> None:
+        """Drop recorded results (the manifest is kept)."""
+        if self.results_path.exists():
+            self.results_path.unlink()
+
+    def __repr__(self) -> str:
+        return f"CampaignStore({str(self.directory)!r})"

@@ -3,12 +3,20 @@
 Runs the paper's experiments from the terminal and prints the tables/plots
 the figures are built from, e.g.::
 
-    repro-reduce fig2a --preset fast
-    repro-reduce fig3  --preset fast --chips 24
-    repro-reduce all   --preset smoke --output results.json
+    repro-reduce fig2a    --preset fast
+    repro-reduce fig3     --preset fast --chips 24 --jobs 4
+    repro-reduce campaign --preset fast --chips 24 --jobs 4 --campaign-dir campaigns
+    repro-reduce all      --preset smoke --output results.json
 
-The CLI is a thin wrapper over :mod:`repro.experiments`; everything it does
-can also be driven from Python (see ``examples/``).
+The ``campaign`` command runs a single retraining campaign through the
+parallel campaign engine: per-chip results are persisted to a resumable JSONL
+store under ``--campaign-dir``, so re-running the same command skips every
+chip that already completed.  ``fig3`` and ``all`` accept the same ``--jobs``
+and ``--campaign-dir`` flags (defaulting to the serial, in-memory behaviour).
+
+The CLI is a thin wrapper over :mod:`repro.experiments` and
+:mod:`repro.campaign`; everything it does can also be driven from Python
+(see ``examples/``).
 """
 
 from __future__ import annotations
@@ -19,10 +27,12 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro.campaign import CampaignEngine
 from repro.core.reporting import campaign_summary_table
 from repro.experiments import (
     ExperimentContext,
     available_presets,
+    build_population,
     get_preset,
     run_fig2a,
     run_fig2b,
@@ -38,7 +48,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command",
-        choices=["fig2a", "fig2b", "fig3", "all", "info"],
+        choices=["fig2a", "fig2b", "fig3", "campaign", "all", "info"],
         help="which experiment to run ('info' prints the preset summary)",
     )
     parser.add_argument(
@@ -47,8 +57,47 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=list(available_presets()),
         help="experiment scale (default: fast)",
     )
-    parser.add_argument("--chips", type=int, default=None, help="override the number of chips (fig3)")
+    parser.add_argument(
+        "--chips", type=int, default=None, help="override the number of chips (fig3/campaign)"
+    )
     parser.add_argument("--output", type=Path, default=None, help="write results as JSON to this path")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for per-chip retraining (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--campaign-dir",
+        type=Path,
+        default=None,
+        help="persist per-chip results to resumable stores under this directory "
+        "(default for 'campaign': ./campaigns; fig3/all: in-memory only)",
+    )
+    parser.add_argument(
+        "--policy",
+        default="reduce-max",
+        choices=["reduce-max", "reduce-mean", "fixed"],
+        help="retraining policy for the 'campaign' command (default: reduce-max)",
+    )
+    parser.add_argument(
+        "--fixed-epochs",
+        type=float,
+        default=0.5,
+        help="epoch budget when --policy fixed (default: 0.5)",
+    )
+    parser.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="ignore previously recorded chip results in the campaign store",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="on-disk cache of pre-trained model states (skips pre-training on reuse; "
+        "also honoured via the REPRO_CACHE_DIR environment variable)",
+    )
     parser.add_argument("-v", "--verbose", action="count", default=0, help="increase log verbosity")
     return parser
 
@@ -63,7 +112,7 @@ def _result_payload(command: str, result: Any) -> Dict[str, Any]:
     raise ValueError(f"unknown command {command!r}")
 
 
-def _run_command(command: str, context: ExperimentContext, chips: Optional[int]) -> Any:
+def _run_command(command: str, context: ExperimentContext, args: argparse.Namespace) -> Any:
     if command == "fig2a":
         result = run_fig2a(context)
         print(result.render())
@@ -73,7 +122,14 @@ def _run_command(command: str, context: ExperimentContext, chips: Optional[int])
         print(result.render())
         return result
     if command == "fig3":
-        result = run_fig3(context, num_chips=chips)
+        result = run_fig3(
+            context,
+            num_chips=args.chips,
+            jobs=args.jobs,
+            campaign_dir=args.campaign_dir,
+            resume=not args.no_resume,
+            disk_cache_dir=args.cache_dir,
+        )
         print(result.summary_table())
         print()
         print(result.render_scatter())
@@ -83,11 +139,54 @@ def _run_command(command: str, context: ExperimentContext, chips: Optional[int])
     raise ValueError(f"unknown command {command!r}")
 
 
+def _run_campaign(context: ExperimentContext, args: argparse.Namespace) -> Dict[str, Any]:
+    """The 'campaign' command: one policy through the parallel engine."""
+    population = build_population(context, num_chips=args.chips)
+    store_base = args.campaign_dir if args.campaign_dir is not None else Path("campaigns")
+    engine = CampaignEngine(
+        context,
+        jobs=args.jobs,
+        store_base=store_base,
+        resume=not args.no_resume,
+        progress=True,
+        disk_cache_dir=args.cache_dir,
+    )
+    if args.policy == "fixed":
+        result = engine.run_fixed(population, args.fixed_epochs)
+    else:
+        statistic = args.policy.split("-", 1)[1]
+        result = engine.run_reduce(population, statistic=statistic)
+    report = engine.last_report
+
+    print(campaign_summary_table([result]))
+    print()
+    print(f"[repro-reduce] campaign {report.describe()}")
+    if report.skipped:
+        print(f"[repro-reduce] resumed: {report.skipped} chip(s) loaded from the store, "
+              f"{report.executed} executed")
+    payload: Dict[str, Any] = {"figure": "campaign", **result.to_dict()}
+    payload["report"] = {
+        "policy": report.policy_name,
+        "total_chips": report.total_chips,
+        "executed": report.executed,
+        "skipped": report.skipped,
+        "jobs": report.jobs,
+        "elapsed_seconds": report.elapsed_seconds,
+        "fingerprint": report.fingerprint,
+        "store_dir": str(report.store_dir) if report.store_dir is not None else None,
+    }
+    return payload
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
     set_verbosity(args.verbose)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.fixed_epochs < 0:
+        parser.error("--fixed-epochs must be non-negative")
 
     preset = get_preset(args.preset)
     if args.command == "info":
@@ -103,16 +202,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     print(f"[repro-reduce] building context for preset {preset.name!r} "
           f"(pre-training {preset.model.name}; this runs once per session)...")
-    context = ExperimentContext.from_preset(preset)
+    context = ExperimentContext.from_preset(preset, disk_cache_dir=args.cache_dir)
     print(f"[repro-reduce] clean accuracy: {context.clean_accuracy:.3f}, "
           f"accuracy constraint: {context.target_accuracy():.3f}")
 
-    commands = ["fig2a", "fig2b", "fig3"] if args.command == "all" else [args.command]
     payloads = []
-    for command in commands:
-        print(f"\n=== {command} ===")
-        result = _run_command(command, context, args.chips)
-        payloads.append(_result_payload(command, result))
+    if args.command == "campaign":
+        payloads.append(_run_campaign(context, args))
+    else:
+        commands = ["fig2a", "fig2b", "fig3"] if args.command == "all" else [args.command]
+        for command in commands:
+            print(f"\n=== {command} ===")
+            result = _run_command(command, context, args)
+            payloads.append(_result_payload(command, result))
 
     if args.output is not None:
         args.output.parent.mkdir(parents=True, exist_ok=True)

@@ -54,6 +54,22 @@ class ChipRetrainingResult:
     def accuracy_recovered(self) -> float:
         return self.accuracy_after - self.accuracy_before
 
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ChipRetrainingResult":
+        return cls(
+            chip_id=str(data["chip_id"]),
+            fault_rate=float(data["fault_rate"]),
+            epochs_allocated=float(data["epochs_allocated"]),
+            epochs_trained=float(data["epochs_trained"]),
+            accuracy_before=float(data["accuracy_before"]),
+            accuracy_after=float(data["accuracy_after"]),
+            meets_constraint=bool(data["meets_constraint"]),
+            masked_weight_fraction=float(data["masked_weight_fraction"]),
+        )
+
 
 @dataclasses.dataclass
 class CampaignResult:
@@ -226,6 +242,11 @@ class ReduceFramework:
         self._profile = profile
         self._clean_accuracy = profile.clean_accuracy
 
+    def set_clean_accuracy(self, accuracy: float) -> None:
+        """Inject a pre-computed clean accuracy (e.g. from the experiment
+        context), avoiding a redundant test-set evaluation."""
+        self._clean_accuracy = float(accuracy)
+
     # -- Step 2: retraining-amount selection -----------------------------------------
 
     def build_policy(self, statistic: Optional[str] = None) -> ResilienceDrivenPolicy:
@@ -252,15 +273,20 @@ class ReduceFramework:
         chip: Chip,
         epochs: float,
         return_state: bool = False,
+        target_accuracy: Optional[float] = None,
     ) -> Union[ChipRetrainingResult, tuple]:
         """Retrain the pre-trained model for one chip's fault map.
 
         The framework model is restored to its pre-trained weights first, so
         repeated calls are independent.  With ``return_state=True`` the
         fault-aware weights (the DNN shipped to that chip) are returned too.
+        ``target_accuracy`` overrides the framework's resolved constraint —
+        campaign workers pass the value resolved once in the parent process so
+        executing a job never needs the clean-accuracy evaluation.
         """
         if epochs < 0:
             raise ValueError("epochs must be non-negative")
+        target = target_accuracy if target_accuracy is not None else self.target_accuracy
         self._restore_pretrained()
         masks = build_fap_masks(self.model, chip.fault_map)
         training_config = dataclasses.replace(
@@ -291,7 +317,7 @@ class ReduceFramework:
             epochs_trained=float(epochs_trained),
             accuracy_before=accuracy_before,
             accuracy_after=accuracy_after,
-            meets_constraint=accuracy_after >= self.target_accuracy - 1e-12,
+            meets_constraint=accuracy_after >= target - 1e-12,
             masked_weight_fraction=masked / total if total else 0.0,
         )
         if return_state:

@@ -10,7 +10,14 @@ from repro.experiments.presets import (
     get_preset,
     available_presets,
 )
-from repro.experiments.common import ExperimentContext, build_dataset, clear_context_cache
+from repro.experiments.common import (
+    ExperimentContext,
+    build_dataset,
+    clear_context_cache,
+    preset_fingerprint,
+    resolve_disk_cache_dir,
+    set_disk_cache_dir,
+)
 from repro.experiments.fig2 import Fig2aResult, Fig2bResult, run_fig2a, run_fig2b
 from repro.experiments.fig3 import Fig3Result, build_population, run_fig3
 
@@ -26,6 +33,9 @@ __all__ = [
     "ExperimentContext",
     "build_dataset",
     "clear_context_cache",
+    "preset_fingerprint",
+    "resolve_disk_cache_dir",
+    "set_disk_cache_dir",
     "Fig2aResult",
     "Fig2bResult",
     "run_fig2a",

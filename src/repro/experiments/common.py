@@ -5,12 +5,21 @@ pre-trained DNN, a dataset, a systolic array and an accuracy constraint.
 ``ExperimentContext.from_preset`` builds them once; pre-training results are
 cached in memory (keyed by the preset) so that running several figure
 benchmarks in one session does not repeat the expensive pre-training step.
+
+An optional *on-disk* cache layers underneath the in-memory one: when a
+cache directory is configured (``disk_cache_dir=`` argument,
+:func:`set_disk_cache_dir` or the ``REPRO_CACHE_DIR`` environment variable),
+the pre-trained state dict and clean accuracy are persisted per preset
+fingerprint, so repeated CLI runs — and campaign workers spawned in fresh
+processes — skip pre-training entirely.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+import os
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -32,14 +41,95 @@ logger = get_logger("experiments.common")
 # In-memory cache of pre-trained contexts, keyed by a preset fingerprint.
 _CONTEXT_CACHE: Dict[str, "ExperimentContext"] = {}
 
+# On-disk cache of pre-trained state dicts (same fingerprint key); resolved
+# from the explicit argument, this module default, or REPRO_CACHE_DIR.
+_DISK_CACHE_ENV = "REPRO_CACHE_DIR"
+_DISK_CACHE_DIR: Optional[Path] = None
 
-def _preset_fingerprint(preset: ExperimentPreset) -> str:
+
+def preset_fingerprint(preset: ExperimentPreset) -> str:
+    """Stable content fingerprint of a preset (cache key for its context)."""
     from repro.utils.config import config_to_dict
     import hashlib
     import json
 
     payload = json.dumps(config_to_dict(preset), sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+# Backwards-compatible alias (the fingerprint is public API now that the
+# campaign store and disk cache key on it).
+_preset_fingerprint = preset_fingerprint
+
+
+def set_disk_cache_dir(path: Optional[Union[str, Path]]) -> None:
+    """Set (or clear, with ``None``) the default on-disk context cache."""
+    global _DISK_CACHE_DIR
+    _DISK_CACHE_DIR = Path(path) if path is not None else None
+
+
+def resolve_disk_cache_dir(explicit: Optional[Union[str, Path]] = None) -> Optional[Path]:
+    """The disk cache directory in effect: argument, module default, or env."""
+    if explicit is not None:
+        return Path(explicit)
+    if _DISK_CACHE_DIR is not None:
+        return _DISK_CACHE_DIR
+    env = os.environ.get(_DISK_CACHE_ENV)
+    return Path(env) if env else None
+
+
+def _disk_cache_paths(cache_dir: Path, fingerprint: str) -> Tuple[Path, Path]:
+    return cache_dir / f"{fingerprint}.npz", cache_dir / f"{fingerprint}.json"
+
+
+def _load_pretrained_from_disk(
+    cache_dir: Path, fingerprint: str
+) -> Optional[Tuple[Dict[str, np.ndarray], float]]:
+    """Load a cached (state dict, clean accuracy) pair, or None on any miss."""
+    import zipfile
+
+    from repro.nn.serialization import load_checkpoint
+    from repro.utils.config import load_json
+
+    state_path, meta_path = _disk_cache_paths(cache_dir, fingerprint)
+    if not state_path.exists() or not meta_path.exists():
+        return None
+    try:
+        state = load_checkpoint(state_path)
+        meta = load_json(meta_path)
+        clean_accuracy = float(meta["clean_accuracy"])
+    except (OSError, ValueError, KeyError, TypeError, zipfile.BadZipFile):
+        logger.warning("ignoring unreadable disk-cache entry %s", state_path)
+        return None
+    return state, clean_accuracy
+
+
+def _save_pretrained_to_disk(
+    cache_dir: Path,
+    fingerprint: str,
+    preset: ExperimentPreset,
+    state: Dict[str, np.ndarray],
+    clean_accuracy: float,
+) -> None:
+    from repro.nn.serialization import save_checkpoint
+    from repro.utils.config import save_json
+
+    state_path, meta_path = _disk_cache_paths(cache_dir, fingerprint)
+    # Write-then-rename so a killed process (or a concurrent worker) never
+    # leaves a torn archive at the final path.
+    tmp_path = state_path.with_name(f"{state_path.stem}.{os.getpid()}.tmp.npz")
+    save_checkpoint(state, tmp_path)
+    os.replace(tmp_path, state_path)
+    save_json(
+        {
+            "preset": preset.name,
+            "fingerprint": fingerprint,
+            "clean_accuracy": clean_accuracy,
+        },
+        meta_path,
+        atomic=True,
+    )
+    logger.info("cached pre-trained state for preset %r at %s", preset.name, state_path)
 
 
 def build_dataset(preset: ExperimentPreset) -> DatasetBundle:
@@ -73,9 +163,19 @@ class ExperimentContext:
     # -- construction -----------------------------------------------------------
 
     @classmethod
-    def from_preset(cls, preset: ExperimentPreset, use_cache: bool = True) -> "ExperimentContext":
-        """Build (or fetch from the in-memory cache) the context for a preset."""
-        fingerprint = _preset_fingerprint(preset)
+    def from_preset(
+        cls,
+        preset: ExperimentPreset,
+        use_cache: bool = True,
+        disk_cache_dir: Optional[Union[str, Path]] = None,
+    ) -> "ExperimentContext":
+        """Build (or fetch from the caches) the context for a preset.
+
+        ``use_cache`` governs the in-memory cache; the on-disk cache of
+        pre-trained state dicts is consulted whenever a cache directory is
+        configured (see :func:`resolve_disk_cache_dir`).
+        """
+        fingerprint = preset_fingerprint(preset)
         if use_cache and fingerprint in _CONTEXT_CACHE:
             return _CONTEXT_CACHE[fingerprint]
 
@@ -87,10 +187,25 @@ class ExperimentContext:
             seed=preset.model.seed,
             **preset.model.kwargs,
         )
-        logger.info("pre-training %s on %s for %.1f epochs", preset.model.name, bundle.name, preset.pretrain_epochs)
-        trainer = Trainer(model, bundle.train, bundle.test, config=preset.pretrain)
-        trainer.train(preset.pretrain_epochs, include_initial=False)
-        clean_accuracy = evaluate_accuracy(model, bundle.test)
+        cache_dir = resolve_disk_cache_dir(disk_cache_dir)
+        cached = _load_pretrained_from_disk(cache_dir, fingerprint) if cache_dir else None
+        if cached is not None:
+            state, clean_accuracy = cached
+            model.load_state_dict(state)
+            logger.info(
+                "loaded pre-trained %s for preset %r from disk cache (skipping pre-training)",
+                preset.model.name,
+                preset.name,
+            )
+        else:
+            logger.info("pre-training %s on %s for %.1f epochs", preset.model.name, bundle.name, preset.pretrain_epochs)
+            trainer = Trainer(model, bundle.train, bundle.test, config=preset.pretrain)
+            trainer.train(preset.pretrain_epochs, include_initial=False)
+            clean_accuracy = evaluate_accuracy(model, bundle.test)
+            if cache_dir is not None:
+                _save_pretrained_to_disk(
+                    cache_dir, fingerprint, preset, model.state_dict(), clean_accuracy
+                )
         context = cls(
             preset=preset,
             bundle=bundle,
@@ -129,6 +244,11 @@ class ExperimentContext:
         )
         if self._profile is not None:
             framework.set_profile(self._profile)
+        else:
+            # Same model, weights and test set as from_preset's evaluation, so
+            # seeding it here skips a redundant full test-set pass (e.g. for
+            # fixed-policy campaigns that never run Step 1).
+            framework.set_clean_accuracy(self.clean_accuracy)
         return framework
 
     def resilience_profile(self, force: bool = False) -> ResilienceProfile:

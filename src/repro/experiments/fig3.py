@@ -18,11 +18,16 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from pathlib import Path
+from typing import Union
+
 from repro.analysis.ascii_plot import scatter_plot
 from repro.analysis.pareto import pareto_mask
+from repro.campaign.engine import CampaignEngine
 from repro.core.chips import ChipPopulation
 from repro.core.reduce import CampaignResult, ReduceFramework
 from repro.core.reporting import campaign_summary_table
+from repro.core.selection import FixedEpochPolicy
 from repro.experiments.common import ExperimentContext
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive_seed
@@ -136,8 +141,20 @@ def run_fig3(
     include_reduce_mean: bool = True,
     population: Optional[ChipPopulation] = None,
     progress: bool = False,
+    jobs: int = 1,
+    campaign_dir: Optional[Union[str, Path]] = None,
+    resume: bool = True,
+    disk_cache_dir: Optional[Union[str, Path]] = None,
 ) -> Fig3Result:
-    """Run the full Fig. 3 comparison on the given context."""
+    """Run the full Fig. 3 comparison on the given context.
+
+    Each policy's campaign is dispatched through the campaign engine:
+    ``jobs`` shards the per-chip retraining across worker processes
+    (``1`` keeps the legacy serial behaviour), ``campaign_dir`` persists
+    per-chip results to resumable JSONL stores (one per policy, resumed
+    unless ``resume=False``), and ``disk_cache_dir`` lets spawned workers
+    load the pre-trained state instead of re-pre-training.
+    """
     preset = context.preset
     chips = population if population is not None else build_population(context, num_chips)
     budgets = tuple(fixed_epochs if fixed_epochs is not None else preset.fixed_policy_epochs)
@@ -148,15 +165,23 @@ def run_fig3(
     profile = framework.analyze_resilience()
     context._profile = profile
 
+    engine = CampaignEngine(
+        context,
+        jobs=jobs,
+        store_base=campaign_dir,
+        resume=resume,
+        progress=progress,
+        disk_cache_dir=disk_cache_dir,
+    )
     campaigns: Dict[str, CampaignResult] = {}
     logger.info("fig3: retraining %d chips with reduce-max", len(chips))
-    campaigns["reduce-max"] = framework.run(chips, statistic="max", progress=progress)
+    campaigns["reduce-max"] = engine.run(chips, framework.build_policy("max"))
     if include_reduce_mean:
         logger.info("fig3: retraining %d chips with reduce-mean", len(chips))
-        campaigns["reduce-mean"] = framework.run(chips, statistic="mean", progress=progress)
+        campaigns["reduce-mean"] = engine.run(chips, framework.build_policy("mean"))
     for budget in budgets:
         logger.info("fig3: retraining %d chips with fixed budget %.3g epochs", len(chips), budget)
-        campaign = framework.run_fixed_policy(chips, budget, progress=progress)
+        campaign = engine.run(chips, FixedEpochPolicy(budget))
         campaigns[campaign.policy_name] = campaign
 
     return Fig3Result(

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 from pathlib import Path
 from typing import Any, Dict, Type, TypeVar, Union
 
@@ -87,13 +88,24 @@ def _resolve_dataclass_type(owner: type, annotation: Any) -> Any:
     return None
 
 
-def save_json(data: Any, path: Union[str, Path]) -> Path:
-    """Write JSON-compatible ``data`` (or a dataclass) to ``path``."""
+def save_json(data: Any, path: Union[str, Path], atomic: bool = False) -> Path:
+    """Write JSON-compatible ``data`` (or a dataclass) to ``path``.
+
+    With ``atomic=True`` the payload is written to a sibling temp file and
+    moved into place with :func:`os.replace`, so concurrent readers (e.g.
+    campaign workers inspecting a store manifest) never observe a torn file.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = _to_jsonable(data)
-    with path.open("w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+    if atomic:
+        tmp = path.with_name(path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+    else:
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
     return path
 
 

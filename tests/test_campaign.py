@@ -1,0 +1,265 @@
+"""Tests for the parallel campaign engine, its store, and the disk cache."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pickle
+
+import pytest
+
+from repro.campaign import (
+    CampaignEngine,
+    CampaignStore,
+    CampaignStoreError,
+    ChipJob,
+    build_jobs,
+    campaign_fingerprint,
+    execute_job,
+)
+from repro.cli import main
+from repro.core.chips import ChipPopulation
+from repro.core.selection import FixedEpochPolicy
+from repro.experiments import ExperimentContext, smoke_preset
+from repro.nn.serialization import state_dicts_equal
+
+
+@pytest.fixture(scope="module")
+def population(smoke_context):
+    preset = smoke_context.preset
+    return ChipPopulation.generate(
+        count=4,
+        rows=preset.array_rows,
+        cols=preset.array_cols,
+        fault_rates=(0.05, 0.25),
+        seed=123,
+    )
+
+
+@pytest.fixture
+def framework(smoke_context):
+    return smoke_context.framework()
+
+
+class TestChipJob:
+    def test_jobs_are_picklable_and_json_round_trip(self, framework, population):
+        jobs = build_jobs(framework, population, FixedEpochPolicy(0.25))
+        assert [job.chip_id for job in jobs] == [chip.chip_id for chip in population]
+        for job in jobs:
+            assert pickle.loads(pickle.dumps(job)) == job
+            assert ChipJob.from_dict(json.loads(json.dumps(job.to_dict()))) == job
+
+    def test_execution_is_deterministic(self, framework, population):
+        job = build_jobs(framework, population, FixedEpochPolicy(0.25))[0]
+        first = execute_job(framework, job)
+        second = execute_job(framework, job)
+        assert first == second
+        assert first.epochs_allocated == 0.25
+
+    def test_negative_epochs_rejected(self):
+        with pytest.raises(ValueError):
+            ChipJob(chip={"chip_id": "c"}, epochs=-1.0, target_accuracy=0.9, policy_name="p")
+
+    def test_result_round_trips_through_dict(self, framework, population):
+        job = build_jobs(framework, population, FixedEpochPolicy(0.25))[0]
+        result = execute_job(framework, job)
+        restored = type(result).from_dict(json.loads(json.dumps(result.to_dict())))
+        assert restored == result
+
+
+class TestEngineEquivalence:
+    def test_serial_and_parallel_runs_are_bit_identical(self, smoke_context, population):
+        policy = FixedEpochPolicy(0.25)
+        serial = CampaignEngine(smoke_context, jobs=1).run(population, policy)
+        parallel = CampaignEngine(smoke_context, jobs=2).run(population, policy)
+        assert serial.results == parallel.results
+        assert serial.target_accuracy == parallel.target_accuracy
+        assert [r.chip_id for r in parallel.results] == [c.chip_id for c in population]
+
+    def test_engine_reduce_matches_framework_run(self, smoke_context, population):
+        engine = CampaignEngine(smoke_context, jobs=2)
+        via_engine = engine.run_reduce(population, statistic="max")
+        via_framework = smoke_context.framework().run(population, statistic="max")
+        assert via_engine.results == via_framework.results
+        assert via_engine.policy_name == via_framework.policy_name == "reduce-max"
+
+    def test_invalid_worker_counts_rejected(self, smoke_context):
+        with pytest.raises(ValueError):
+            CampaignEngine(smoke_context, jobs=0)
+        with pytest.raises(ValueError):
+            CampaignEngine(smoke_context, jobs=2, chunk_size=0)
+
+
+class TestStoreAndResume:
+    def test_store_written_and_rerun_skips_all_chips(self, smoke_context, population, tmp_path):
+        policy = FixedEpochPolicy(0.25)
+        first = CampaignEngine(smoke_context, jobs=1, store_base=tmp_path)
+        result = first.run(population, policy)
+        report = first.last_report
+        assert report.executed == len(population)
+        assert report.skipped == 0
+        assert report.store_dir is not None and report.store_dir.is_dir()
+        lines = (report.store_dir / "results.jsonl").read_text().strip().splitlines()
+        assert len(lines) == len(population)
+
+        second = CampaignEngine(smoke_context, jobs=1, store_base=tmp_path)
+        resumed = second.run(population, policy)
+        assert second.last_report.executed == 0
+        assert second.last_report.skipped == len(population)
+        assert resumed.results == result.results
+
+    def test_killed_then_resumed_campaign_completes_without_duplicates(
+        self, smoke_context, population, tmp_path
+    ):
+        policy = FixedEpochPolicy(0.25)
+        engine = CampaignEngine(smoke_context, jobs=1, store_base=tmp_path)
+        full = engine.run(population, policy)
+        results_path = engine.last_report.store_dir / "results.jsonl"
+
+        # Simulate a kill after two chips, mid-write of the third: keep two
+        # complete lines plus a torn trailing fragment.
+        lines = results_path.read_text().splitlines()
+        results_path.write_text("\n".join(lines[:2]) + "\n" + lines[2][: len(lines[2]) // 2])
+
+        resumed_engine = CampaignEngine(smoke_context, jobs=2, store_base=tmp_path)
+        resumed = resumed_engine.run(population, policy)
+        assert resumed_engine.last_report.skipped == 2
+        assert resumed_engine.last_report.executed == len(population) - 2
+        assert resumed.results == full.results
+
+        recorded = [
+            json.loads(line)["chip_id"]
+            for line in results_path.read_text().strip().splitlines()
+        ]
+        assert len(recorded) == len(set(recorded)) == len(population)
+
+    def test_no_resume_re_executes_everything(self, smoke_context, population, tmp_path):
+        policy = FixedEpochPolicy(0.25)
+        CampaignEngine(smoke_context, jobs=1, store_base=tmp_path).run(population, policy)
+        engine = CampaignEngine(smoke_context, jobs=1, store_base=tmp_path, resume=False)
+        engine.run(population, policy)
+        assert engine.last_report.executed == len(population)
+
+    def test_store_rejects_foreign_fingerprint(self, tmp_path):
+        store = CampaignStore.open(tmp_path, "a" * 64, manifest={"policy": "p"})
+        assert store.read_manifest()["fingerprint"] == "a" * 64
+        # Same directory (first 16 chars collide) but a different campaign.
+        colliding = "a" * 16 + "b" * 48
+        with pytest.raises(CampaignStoreError):
+            CampaignStore.open(tmp_path, colliding, manifest={"policy": "p"})
+
+    def test_completed_skips_corrupt_lines(self, tmp_path):
+        store = CampaignStore.open(tmp_path, "c" * 64, manifest={"policy": "p"})
+        store.results_path.write_text('{"not a result": true}\n{torn')
+        assert store.completed() == {}
+
+
+class TestFingerprint:
+    def test_fingerprint_is_stable_and_input_sensitive(self, framework, population):
+        preset = smoke_preset()
+        jobs = build_jobs(framework, population, FixedEpochPolicy(0.25))
+        base = campaign_fingerprint(preset, "fixed-0.25ep", 0.9, jobs)
+        assert base == campaign_fingerprint(preset, "fixed-0.25ep", 0.9, jobs)
+        assert base != campaign_fingerprint(preset, "fixed-0.5ep", 0.9, jobs)
+        assert base != campaign_fingerprint(preset, "fixed-0.25ep", 0.91, jobs)
+        other_jobs = build_jobs(framework, population, FixedEpochPolicy(0.5))
+        assert base != campaign_fingerprint(preset, "fixed-0.25ep", 0.9, other_jobs)
+        smaller = ChipPopulation(population.chips[:2])
+        fewer_jobs = build_jobs(framework, smaller, FixedEpochPolicy(0.25))
+        assert base != campaign_fingerprint(preset, "fixed-0.25ep", 0.9, fewer_jobs)
+
+
+class TestDiskCache:
+    def _tiny_preset(self):
+        preset = smoke_preset()
+        preset.pretrain_epochs = 1.0
+        return preset
+
+    def test_cache_files_written_and_reloaded(self, tmp_path, monkeypatch):
+        preset = self._tiny_preset()
+        first = ExperimentContext.from_preset(preset, use_cache=False, disk_cache_dir=tmp_path)
+        cached_files = sorted(p.name for p in tmp_path.iterdir())
+        assert any(name.endswith(".npz") for name in cached_files)
+        assert any(name.endswith(".json") for name in cached_files)
+
+        # A second build must not pre-train: poison the Trainer to prove it.
+        class _Boom:
+            def __init__(self, *args, **kwargs):
+                raise AssertionError("pre-training ran despite a warm disk cache")
+
+        monkeypatch.setattr("repro.experiments.common.Trainer", _Boom)
+        second = ExperimentContext.from_preset(preset, use_cache=False, disk_cache_dir=tmp_path)
+        assert state_dicts_equal(first.pretrained_state, second.pretrained_state)
+        assert second.clean_accuracy == first.clean_accuracy
+
+    @pytest.mark.parametrize(
+        "corruption",
+        [b"garbage", b"PK\x03\x04truncated-zip"],
+        ids=["not-a-zip", "torn-zip"],
+    )
+    def test_unreadable_cache_entry_falls_back_to_pretraining(self, tmp_path, corruption):
+        preset = self._tiny_preset()
+        first = ExperimentContext.from_preset(preset, use_cache=False, disk_cache_dir=tmp_path)
+        for path in tmp_path.glob("*.npz"):
+            path.write_bytes(corruption)
+        second = ExperimentContext.from_preset(preset, use_cache=False, disk_cache_dir=tmp_path)
+        assert state_dicts_equal(first.pretrained_state, second.pretrained_state)
+
+
+class TestCampaignCli:
+    def test_campaign_command_runs_and_resumes(self, capsys, tmp_path):
+        base = [
+            "campaign",
+            "--preset",
+            "smoke",
+            "--chips",
+            "3",
+            "--policy",
+            "fixed",
+            "--fixed-epochs",
+            "0.25",
+            "--campaign-dir",
+            str(tmp_path / "campaigns"),
+            "--output",
+            str(tmp_path / "campaign.json"),
+        ]
+        assert main(base + ["--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fixed-0.25ep" in out
+        assert "executed=3" in out
+        payload = json.loads((tmp_path / "campaign.json").read_text())
+        assert payload["figure"] == "campaign"
+        assert payload["report"]["executed"] == 3
+        assert len(payload["chips"]) == 3
+
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "skipped=3" in out
+        rerun = json.loads((tmp_path / "campaign.json").read_text())
+        assert rerun["report"]["executed"] == 0
+        assert rerun["chips"] == payload["chips"]
+
+    def test_fig3_accepts_jobs_and_campaign_dir(self, capsys, tmp_path):
+        args = [
+            "fig3",
+            "--preset",
+            "smoke",
+            "--chips",
+            "2",
+            "--jobs",
+            "2",
+            "--campaign-dir",
+            str(tmp_path / "campaigns"),
+        ]
+        assert main(args) == 0
+        assert "reduce-max" in capsys.readouterr().out
+        stores = list((tmp_path / "campaigns").iterdir())
+        # One store per policy: reduce-max, reduce-mean and the fixed budgets.
+        assert len(stores) >= 3
+        # Re-running resumes every policy from the stores.
+        assert main(args) == 0
+        assert "reduce-max" in capsys.readouterr().out
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--preset", "smoke", "--jobs", "0"])
