@@ -60,7 +60,7 @@ def test_bench_fault_mask_generation_vgg11(benchmark):
 
 
 def test_bench_fault_aware_training_step(benchmark, fast_context):
-    """One masked optimizer step of the fast preset's model."""
+    """Masked-retrain-step: one masked optimizer step of the fast preset's model."""
     context = fast_context
     context.restore_pretrained()
     masks = model_fault_masks(context.model, FaultMap.random(*context.array.shape, 0.2, seed=0))
@@ -81,6 +81,63 @@ def test_bench_evaluation_pass(benchmark, fast_context):
 
     accuracy = benchmark(evaluate_accuracy, fast_context.model, fast_context.bundle.test)
     assert 0.0 <= accuracy <= 1.0
+
+
+def _population_mask_sets(context, num_chips=16):
+    fault_maps = [
+        FaultMap.random(*context.array.shape, 0.05 + 0.015 * i, seed=100 + i)
+        for i in range(num_chips)
+    ]
+    return [model_fault_masks(context.model, fault_map) for fault_map in fault_maps]
+
+
+def test_bench_population_evaluation_serial(benchmark, fast_context):
+    """Population-evaluation baseline: B chips evaluated one at a time.
+
+    This is the pre-batching code path (restore pre-trained weights, apply
+    the chip's masks, run a full test-set pass) — the comparator for the
+    batched benchmark below.
+    """
+    from repro.training import apply_weight_masks, evaluate_accuracy
+
+    context = fast_context
+    mask_sets = _population_mask_sets(context)
+
+    def run():
+        accuracies = []
+        for masks in mask_sets:
+            context.restore_pretrained()
+            apply_weight_masks(context.model, masks)
+            accuracies.append(evaluate_accuracy(context.model, context.bundle.test))
+        return accuracies
+
+    accuracies = benchmark(run)
+    context.restore_pretrained()
+    assert len(accuracies) == len(mask_sets)
+
+
+def test_bench_population_evaluation_batched(benchmark, fast_context):
+    """Population-evaluation via the batched multi-chip evaluator.
+
+    Same 16 chips and test set as the serial benchmark; results are required
+    to match the serial path exactly (see tests/test_batched_eval.py).
+    """
+    from repro.accelerator import evaluate_chip_accuracies
+
+    context = fast_context
+    context.restore_pretrained()
+    mask_sets = _population_mask_sets(context)
+    accuracies = benchmark(
+        evaluate_chip_accuracies, context.model, context.bundle.test, mask_sets
+    )
+    assert len(accuracies) == len(mask_sets)
+
+
+def test_bench_population_triage(benchmark, fast_context, fast_population):
+    """Step-2.5 triage: batched accuracy_before for the whole population."""
+    framework = fast_context.framework()
+    triage = benchmark(framework.triage_population, fast_population)
+    assert len(triage) == len(fast_population)
 
 
 def test_bench_resilience_profile_lookup(benchmark, fast_profile):

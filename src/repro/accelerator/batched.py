@@ -1,0 +1,313 @@
+"""Batched multi-chip evaluation: one forward sweep for B fault-masked chips.
+
+Evaluating a population of faulty chips is the dominant non-training cost of
+the Reduce flow: Step-2 triage, resilience-trial baselines and campaign
+accuracy checkpoints all need "accuracy of the pre-trained DNN under chip
+b's fault masks" for many chips.  Under the weight-stationary mapping both
+FAP (Zhang et al., VTS 2018) and SalvageDNN-style permutations reduce to
+per-layer weight masks, so evaluating B chips is just B masked variants of
+the same GEMM — which batches trivially.
+
+:class:`BatchedFaultEvaluator` stacks the B per-chip masked weight matrices
+into ``(B, N_out, K)`` tensors once, then runs the *unmodified* model forward
+with every mappable layer temporarily routed through a batched GEMM.  Two
+regimes are exploited:
+
+* **Shared prefix.** Until the first masked layer, activations are identical
+  for every chip, so the input batch is *not* replicated: the prefix runs
+  once, and the first masked layer lowers its input once (one im2col) and
+  multiplies it against all B weight sets in a single wide GEMM
+  ``(P, K) @ (K, B * N_out)`` — the per-chip GEMMs share their activation
+  operand, so this is a pure B-fold saving on the lowering and a large BLAS
+  efficiency win over B narrow GEMMs.
+* **Folded suffix.** Downstream of the first masked layer the activations
+  diverge per chip; they are carried with a folded ``(B * batch, ...)``
+  leading axis and each masked layer applies a stacked
+  ``(B, P, K) @ (B, K, N_out)`` matmul.  Non-mappable layers (ReLU,
+  eval-mode batch norm, pooling, flatten, dropout-in-eval) are strictly
+  per-sample and need no changes at all.
+
+Numerical equivalence: chip ``b``'s slice of every stacked GEMM multiplies
+the same operands in the same row order as the serial per-chip pass, and all
+surrounding ops are per-sample elementwise, so logits match the serial
+``evaluate_accuracy`` path bit-for-bit on a given BLAS build (the wide
+shared-prefix GEMM may in principle differ to float32 rounding on BLAS
+builds whose kernel selection changes the reduction order with the output
+width; the equivalence tests pin this down exactly on the build in use).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro import nn
+from repro.accelerator.fault_map import FaultMap
+from repro.accelerator.mapping import model_fault_masks
+from repro.data.dataloader import DataLoader
+from repro.data.dataset import Dataset
+from repro.nn.functional import im2col
+
+MaskDict = Dict[str, np.ndarray]
+
+# Stacked per-chip weights cost ``chips x model-size`` floats; population
+# helpers evaluate in chunks of this many chips to bound peak memory.
+DEFAULT_CHIP_CHUNK = 16
+
+
+@dataclasses.dataclass
+class _BatchedLayer:
+    """One mappable layer with its B stacked, pre-masked GEMM weights."""
+
+    name: str
+    module: nn.Module
+    stack: np.ndarray  # (B, N_out, K) masked per-chip weights
+    wide: Optional[np.ndarray] = None  # (K, B * N_out), built on first shared use
+
+    @property
+    def stacked_t(self) -> np.ndarray:
+        """The (B, K, N_out) matmul operand (transposed view, zero-copy)."""
+        return self.stack.transpose(0, 2, 1)
+
+    def wide_weights(self) -> np.ndarray:
+        """The (K, B * N_out) operand of the shared-prefix wide GEMM."""
+        if self.wide is None:
+            chips, out_dim, k = self.stack.shape
+            self.wide = np.ascontiguousarray(
+                self.stack.transpose(2, 0, 1).reshape(k, chips * out_dim)
+            )
+        return self.wide
+
+
+def _as_eval_loader(data: Union[Dataset, DataLoader], batch_size: int) -> DataLoader:
+    if isinstance(data, DataLoader):
+        return data
+    return DataLoader(data, batch_size=batch_size, shuffle=False, seed=0)
+
+
+class BatchedFaultEvaluator:
+    """Evaluate one model under B per-chip fault-mask sets in batched passes.
+
+    Parameters
+    ----------
+    model:
+        The model whose *current* weights are the shared starting point (for
+        the Reduce flow: the pre-trained DNN).  Masked weight stacks are
+        captured at construction; biases, batch-norm statistics and every
+        non-mappable parameter are read live at evaluation time.
+    mask_sets:
+        One mask dict per chip (as produced by ``build_fap_masks``), all with
+        identical layer keys.  ``True`` marks a weight forced to zero.
+    """
+
+    def __init__(self, model: nn.Module, mask_sets: Sequence[MaskDict]) -> None:
+        if not mask_sets:
+            raise ValueError("mask_sets must contain at least one chip")
+        self.model = model
+        self.num_chips = len(mask_sets)
+        key_set = set(mask_sets[0])
+        for index, masks in enumerate(mask_sets[1:], start=1):
+            if set(masks) != key_set:
+                raise ValueError(
+                    f"mask set {index} has layer keys {sorted(masks)} != {sorted(key_set)}"
+                )
+        modules = dict(model.named_modules())
+        self._layers: List[_BatchedLayer] = []
+        # True while the forward pass is still on the shared (un-replicated)
+        # prefix; flipped by the first masked layer that executes.
+        self._shared_prefix = True
+        for name in mask_sets[0]:
+            module = modules.get(name)
+            if module is None:
+                raise KeyError(f"mask refers to unknown layer {name!r}")
+            weight = getattr(module, "weight", None)
+            if weight is None:
+                raise ValueError(f"layer {name!r} has no weight to mask")
+            if not isinstance(module, (nn.Linear, nn.Conv2d)):
+                raise TypeError(f"layer {name!r} is not mappable (Linear/Conv2d)")
+            out_dim = weight.data.shape[0]
+            stacked = np.empty((self.num_chips,) + weight.data.shape, dtype=weight.data.dtype)
+            for chip, masks in enumerate(mask_sets):
+                mask = masks[name]
+                if mask.shape != weight.data.shape:
+                    raise ValueError(
+                        f"mask shape {mask.shape} does not match weight shape "
+                        f"{weight.data.shape} for layer {name!r}"
+                    )
+                # np.where (not multiply) so masked entries are exact +0.0,
+                # bit-identical to the serial ``weight.data[mask] = 0.0`` path.
+                stacked[chip] = np.where(mask, weight.data.dtype.type(0), weight.data)
+            self._layers.append(
+                _BatchedLayer(
+                    name=name, module=module, stack=stacked.reshape(self.num_chips, out_dim, -1)
+                )
+            )
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def from_fault_maps(
+        cls,
+        model: nn.Module,
+        fault_maps: Iterable[FaultMap],
+        column_permutations: Optional[Dict[str, Sequence[int]]] = None,
+    ) -> "BatchedFaultEvaluator":
+        """Build the evaluator straight from per-chip fault maps."""
+        mask_sets = [
+            model_fault_masks(model, fault_map, column_permutations)
+            for fault_map in fault_maps
+        ]
+        return cls(model, mask_sets)
+
+    # -- batched forward plumbing --------------------------------------------
+
+    def _expand_shared(self, gemm_input: np.ndarray, layer: _BatchedLayer) -> np.ndarray:
+        """Shared-prefix GEMM: one ``(P, K)`` operand against all B chips.
+
+        Returns the folded ``(B, P, N_out)`` result.  The per-chip weight
+        columns are concatenated into one ``(K, B * N_out)`` operand so a
+        single wide GEMM replaces B narrow ones.
+        """
+        rows = gemm_input.shape[0]
+        out = gemm_input @ layer.wide_weights()  # (P, B * N_out)
+        out = out.reshape(rows, self.num_chips, -1).transpose(1, 0, 2)
+        self._shared_prefix = False
+        return out
+
+    def _linear_forward(self, layer: _BatchedLayer):
+        def forward(x: nn.Tensor) -> nn.Tensor:
+            data = x.data
+            if data.ndim != 2:
+                data = data.reshape(data.shape[0], -1)
+            if self._shared_prefix:
+                out = self._expand_shared(data, layer)  # (B, n, O)
+            else:
+                total, k = data.shape
+                per_chip = total // self.num_chips
+                out = np.matmul(data.reshape(self.num_chips, per_chip, k), layer.stacked_t)
+            bias = layer.module.bias
+            if bias is not None:
+                out += bias.data
+            return nn.Tensor(out.reshape(out.shape[0] * out.shape[1], -1))
+
+        return forward
+
+    def _conv_forward(self, layer: _BatchedLayer):
+        def forward(x: nn.Tensor) -> nn.Tensor:
+            module = layer.module
+            data = x.data
+            cols, out_h, out_w = im2col(data, module.kernel_size, module.stride, module.padding)
+            if self._shared_prefix:
+                out = self._expand_shared(cols, layer)  # (B, n*oh*ow, O)
+            else:
+                rows_per_chip = cols.shape[0] // self.num_chips
+                out = np.matmul(
+                    cols.reshape(self.num_chips, rows_per_chip, cols.shape[1]),
+                    layer.stacked_t,
+                )
+            bias = module.bias
+            if bias is not None:
+                out += bias.data
+            folded = out.shape[0] * out.shape[1] // (out_h * out_w)
+            out = out.reshape(folded, out_h, out_w, -1).transpose(0, 3, 1, 2)
+            return nn.Tensor(np.ascontiguousarray(out))
+
+        return forward
+
+    @contextlib.contextmanager
+    def _patched(self):
+        """Temporarily route every mappable layer through its batched GEMM."""
+        patched: List[nn.Module] = []
+        try:
+            for layer in self._layers:
+                if "forward" in layer.module.__dict__:
+                    raise RuntimeError(
+                        f"layer {layer.name!r} already has a patched forward "
+                        "(nested batched evaluation is not supported)"
+                    )
+                make = (
+                    self._linear_forward
+                    if isinstance(layer.module, nn.Linear)
+                    else self._conv_forward
+                )
+                object.__setattr__(layer.module, "forward", make(layer))
+                patched.append(layer.module)
+            yield
+        finally:
+            for module in reversed(patched):
+                object.__delattr__(module, "forward")
+
+    def _forward_all_chips(self, inputs: np.ndarray) -> np.ndarray:
+        """Logits for one (shared) input batch under every chip: (B, n, C)."""
+        self._shared_prefix = True
+        logits = self.model(nn.Tensor(inputs)).data
+        if self._shared_prefix:
+            # No masked layer executed (empty mask sets): every chip sees the
+            # same logits.
+            return np.broadcast_to(logits[None], (self.num_chips,) + logits.shape)
+        return logits.reshape(self.num_chips, inputs.shape[0], -1)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate_logits(self, inputs: Union[nn.Tensor, np.ndarray]) -> np.ndarray:
+        """Logits of one input batch under every chip: ``(B, n, classes)``."""
+        data = inputs.data if isinstance(inputs, nn.Tensor) else np.asarray(inputs)
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with nn.no_grad(), self._patched():
+                return self._forward_all_chips(data).copy()
+        finally:
+            if was_training:
+                self.model.train()
+
+    def evaluate_accuracy(
+        self,
+        data: Union[Dataset, DataLoader],
+        batch_size: int = 128,
+    ) -> List[float]:
+        """Per-chip top-1 accuracy on ``data`` (one pass over the loader)."""
+        loader = _as_eval_loader(data, batch_size=batch_size)
+        correct = np.zeros(self.num_chips, dtype=np.int64)
+        total = 0
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with nn.no_grad(), self._patched():
+                for inputs, targets in loader:
+                    n = inputs.data.shape[0]
+                    logits = self._forward_all_chips(inputs.data)
+                    predictions = logits.argmax(axis=-1)
+                    correct += (predictions == np.asarray(targets)[None, :]).sum(axis=1)
+                    total += n
+        finally:
+            if was_training:
+                self.model.train()
+        if total == 0:
+            return [0.0] * self.num_chips
+        return [int(c) / total for c in correct]
+
+
+def evaluate_chip_accuracies(
+    model: nn.Module,
+    data: Union[Dataset, DataLoader],
+    mask_sets: Sequence[MaskDict],
+    batch_size: int = 128,
+    chip_chunk: int = DEFAULT_CHIP_CHUNK,
+) -> List[float]:
+    """Accuracy of ``model`` under each chip's masks, batched in chip chunks.
+
+    The convenience wrapper over :class:`BatchedFaultEvaluator` used by the
+    population triage and campaign checkpoints: peak memory is bounded by
+    ``chip_chunk`` stacked weight copies regardless of population size.
+    """
+    if chip_chunk < 1:
+        raise ValueError(f"chip_chunk must be >= 1, got {chip_chunk}")
+    accuracies: List[float] = []
+    for start in range(0, len(mask_sets), chip_chunk):
+        evaluator = BatchedFaultEvaluator(model, mask_sets[start:start + chip_chunk])
+        accuracies.extend(evaluator.evaluate_accuracy(data, batch_size=batch_size))
+    return accuracies

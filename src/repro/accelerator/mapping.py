@@ -23,6 +23,7 @@ column permutation applied to the fault map before tiling.
 from __future__ import annotations
 
 import dataclasses
+from collections import OrderedDict
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -81,6 +82,45 @@ def weight_matrix_view(module: nn.Module) -> np.ndarray:
     raise TypeError(f"module of type {type(module).__name__} is not mappable onto the array")
 
 
+# ---------------------------------------------------------------------------
+# Mask cache
+# ---------------------------------------------------------------------------
+#
+# ``gemm_fault_mask`` is called once per mappable layer for every retraining
+# run and every evaluation of a chip, but its output depends only on the fault
+# map, the GEMM shape and the (optional) column permutation — all of which are
+# identical across the many calls a campaign makes for one chip.  A small LRU
+# keyed by (fault-map fingerprint, GemmShape, permutation fingerprint) makes
+# every call after the first a dictionary lookup.  Cached masks are read-only;
+# callers treating masks as immutable (all in-tree callers do) share them
+# zero-copy.
+
+_MASK_CACHE_CAPACITY = 512
+# Byte budget alongside the entry cap: mask size scales with the model's
+# weight count, so a pure entry cap could pin gigabytes for large FC layers.
+_MASK_CACHE_MAX_BYTES = 256 * 1024 * 1024
+_MASK_CACHE: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+_MASK_CACHE_STATS = {"hits": 0, "misses": 0, "bytes": 0}
+
+
+def _fault_map_fingerprint(fault_map: FaultMap) -> Tuple:
+    """Cheap content key of a fault map (shape + raw bool payload)."""
+    return (fault_map.shape, fault_map.array.tobytes())
+
+
+def clear_mask_cache() -> None:
+    """Drop every cached fault mask (mainly for tests and benchmarks)."""
+    _MASK_CACHE.clear()
+    _MASK_CACHE_STATS["hits"] = 0
+    _MASK_CACHE_STATS["misses"] = 0
+    _MASK_CACHE_STATS["bytes"] = 0
+
+
+def mask_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters plus current size of the mask LRU."""
+    return {**_MASK_CACHE_STATS, "size": len(_MASK_CACHE)}
+
+
 def gemm_fault_mask(
     gemm: GemmShape,
     fault_map: FaultMap,
@@ -90,8 +130,17 @@ def gemm_fault_mask(
 
     The mask is produced by tiling the (optionally column-permuted) fault map
     periodically over the weight matrix according to the weight-stationary
-    mapping described in the module docstring.
+    mapping described in the module docstring.  Results are memoized in a
+    process-wide LRU (see above); the returned array is read-only.
     """
+    perm_key = None if column_permutation is None else tuple(int(c) for c in column_permutation)
+    key = (_fault_map_fingerprint(fault_map), gemm, perm_key)
+    cached = _MASK_CACHE.get(key)
+    if cached is not None:
+        _MASK_CACHE_STATS["hits"] += 1
+        _MASK_CACHE.move_to_end(key)
+        return cached
+    _MASK_CACHE_STATS["misses"] += 1
     effective_map = fault_map if column_permutation is None else fault_map.permuted_columns(column_permutation)
     faulty = effective_map.array
     rows, cols = faulty.shape
@@ -99,7 +148,17 @@ def gemm_fault_mask(
     n_indices = np.arange(gemm.output_dim) % cols
     # mask[k, n] = faulty[k mod R, n mod C]; transpose to the (N_out, K) layout.
     mask_kn = faulty[np.ix_(k_indices, n_indices)]
-    return mask_kn.T.copy()
+    mask = np.ascontiguousarray(mask_kn.T)
+    mask.setflags(write=False)
+    _MASK_CACHE[key] = mask
+    _MASK_CACHE_STATS["bytes"] += mask.nbytes
+    while _MASK_CACHE and (
+        len(_MASK_CACHE) > _MASK_CACHE_CAPACITY
+        or _MASK_CACHE_STATS["bytes"] > _MASK_CACHE_MAX_BYTES
+    ):
+        _, evicted = _MASK_CACHE.popitem(last=False)
+        _MASK_CACHE_STATS["bytes"] -= evicted.nbytes
+    return mask
 
 
 def layer_fault_mask(

@@ -98,12 +98,18 @@ class SystolicArray:
             "rows": self.rows,
             "cols": self.cols,
             "fault_map": self.fault_map.to_dict(),
+            "technology": dataclasses.asdict(self.technology),
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SystolicArray":
         fault_map = FaultMap.from_dict(data["fault_map"]) if "fault_map" in data else None
-        return cls(int(data["rows"]), int(data["cols"]), fault_map=fault_map)
+        technology = (
+            ArrayTechnology(**data["technology"]) if "technology" in data else None
+        )
+        return cls(
+            int(data["rows"]), int(data["cols"]), fault_map=fault_map, technology=technology
+        )
 
     def __repr__(self) -> str:
         return (

@@ -199,6 +199,22 @@ class CampaignEngine:
         timer = Timer().start()
         done = len(known)
 
+        if pending:
+            # Batched triage: the initial accuracy checkpoint of every pending
+            # chip is B masked variants of the same pre-trained model, so one
+            # multi-chip sweep replaces |pending| serial test-set passes.  The
+            # values are numerically identical to the serial evaluation, and
+            # zero-epoch jobs become pure lookups for the executor.
+            triage = framework.triage_population(
+                [job.to_chip() for job in pending]
+            )
+            pending = [
+                job.with_accuracy_before(triage[job.chip_id])
+                if job.chip_id in triage
+                else job
+                for job in pending
+            ]
+
         def record(result: ChipRetrainingResult) -> None:
             nonlocal done
             known[result.chip_id] = result

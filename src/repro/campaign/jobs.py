@@ -20,7 +20,7 @@ process runs the job or in what order jobs complete.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.core.chips import Chip, ChipPopulation
 from repro.core.reduce import ChipRetrainingResult, ReduceFramework
@@ -35,6 +35,10 @@ class ChipJob:
     epochs: float
     target_accuracy: float
     policy_name: str
+    # Initial (pre-retraining) accuracy measured by the engine's batched
+    # triage pass; workers then skip the serial initial evaluation.  Not part
+    # of the campaign fingerprint: it is derived data, not work definition.
+    accuracy_before: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.epochs < 0:
@@ -47,16 +51,21 @@ class ChipJob:
     def to_chip(self) -> Chip:
         return Chip.from_dict(self.chip)
 
+    def with_accuracy_before(self, accuracy: float) -> "ChipJob":
+        return dataclasses.replace(self, accuracy_before=float(accuracy))
+
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ChipJob":
+        accuracy_before = data.get("accuracy_before")
         return cls(
             chip=dict(data["chip"]),
             epochs=float(data["epochs"]),
             target_accuracy=float(data["target_accuracy"]),
             policy_name=str(data["policy_name"]),
+            accuracy_before=None if accuracy_before is None else float(accuracy_before),
         )
 
 
@@ -87,5 +96,8 @@ def build_jobs(
 def execute_job(framework: ReduceFramework, job: ChipJob) -> ChipRetrainingResult:
     """Run one job against a framework holding the pre-trained weights."""
     return framework.retrain_chip(
-        job.to_chip(), job.epochs, target_accuracy=job.target_accuracy
+        job.to_chip(),
+        job.epochs,
+        target_accuracy=job.target_accuracy,
+        accuracy_before=job.accuracy_before,
     )

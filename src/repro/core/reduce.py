@@ -16,11 +16,12 @@ and the fault maps of the faulty chips, it
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro import nn
+from repro.accelerator.batched import evaluate_chip_accuracies
 from repro.accelerator.systolic_array import SystolicArray
 from repro.core.chips import Chip, ChipPopulation
 from repro.core.constraints import AccuracyConstraint
@@ -266,6 +267,47 @@ class ReduceFramework:
         """Per-chip retraining amounts (Step 2 output)."""
         return self.build_policy(statistic).epochs_for_population(population)
 
+    # -- Step 2.5: batched population triage --------------------------------------
+
+    def triage_population(
+        self,
+        chips: Iterable[Chip],
+        chip_chunk: int = 16,
+    ) -> Dict[str, float]:
+        """Pre-retraining accuracy of every chip, in batched multi-chip passes.
+
+        This is the "accuracy checkpoint" each retraining run would otherwise
+        evaluate serially (``accuracy_before`` in the per-chip results): the
+        pre-trained model under each chip's FAP masks.  All chips share the
+        pre-trained weights and differ only in their masks, so a
+        :class:`~repro.accelerator.batched.BatchedFaultEvaluator` computes B
+        of them per forward sweep.  Results are numerically identical to the
+        serial per-chip evaluation.
+        """
+        chip_list = list(chips)
+        if not chip_list:
+            return {}
+        self._restore_pretrained()
+        eval_batch = self.config.effective_retraining_config().batch_size * 4
+        accuracies: List[float] = []
+        # Masks are built (and released) chunk by chunk so peak memory is
+        # bounded by ``chip_chunk`` mask sets, not the population size.
+        for start in range(0, len(chip_list), chip_chunk):
+            mask_sets = [
+                build_fap_masks(self.model, chip.fault_map)
+                for chip in chip_list[start:start + chip_chunk]
+            ]
+            accuracies.extend(
+                evaluate_chip_accuracies(
+                    self.model,
+                    self.bundle.test,
+                    mask_sets,
+                    batch_size=eval_batch,
+                    chip_chunk=chip_chunk,
+                )
+            )
+        return {chip.chip_id: acc for chip, acc in zip(chip_list, accuracies)}
+
     # -- Step 3: per-chip fault-aware retraining ---------------------------------------
 
     def retrain_chip(
@@ -274,6 +316,7 @@ class ReduceFramework:
         epochs: float,
         return_state: bool = False,
         target_accuracy: Optional[float] = None,
+        accuracy_before: Optional[float] = None,
     ) -> Union[ChipRetrainingResult, tuple]:
         """Retrain the pre-trained model for one chip's fault map.
 
@@ -283,29 +326,41 @@ class ReduceFramework:
         ``target_accuracy`` overrides the framework's resolved constraint —
         campaign workers pass the value resolved once in the parent process so
         executing a job never needs the clean-accuracy evaluation.
+        ``accuracy_before`` injects a pre-computed initial accuracy (from the
+        batched :meth:`triage_population` pass, which is numerically identical
+        to the serial evaluation) so the per-chip run skips the initial
+        test-set sweep; zero-epoch chips then need no training machinery at
+        all.
         """
         if epochs < 0:
             raise ValueError("epochs must be non-negative")
         target = target_accuracy if target_accuracy is not None else self.target_accuracy
         self._restore_pretrained()
         masks = build_fap_masks(self.model, chip.fault_map)
-        training_config = dataclasses.replace(
-            self.config.effective_retraining_config(),
-            seed=derive_seed(self.config.resilience.seed, "chip", chip.chip_id),
-        )
-        trainer = Trainer(
-            self.model,
-            self.bundle.train,
-            self.bundle.test,
-            config=training_config,
-            masks=masks,
-        )
-        accuracy_before = trainer.evaluate()
-        if epochs > 0:
-            history = trainer.train(epochs, include_initial=False)
-            accuracy_after = history.final_accuracy
-            epochs_trained = history.total_epochs
+        if epochs > 0 or return_state or accuracy_before is None:
+            training_config = dataclasses.replace(
+                self.config.effective_retraining_config(),
+                seed=derive_seed(self.config.resilience.seed, "chip", chip.chip_id),
+            )
+            trainer = Trainer(
+                self.model,
+                self.bundle.train,
+                self.bundle.test,
+                config=training_config,
+                masks=masks,
+            )
+            if accuracy_before is None:
+                accuracy_before = trainer.evaluate()
+            if epochs > 0:
+                history = trainer.train(epochs, include_initial=False)
+                accuracy_after = history.final_accuracy
+                epochs_trained = history.total_epochs
+            else:
+                accuracy_after = accuracy_before
+                epochs_trained = 0.0
         else:
+            # Triage already measured this chip and no retraining or state
+            # was requested: the result is fully determined.
             accuracy_after = accuracy_before
             epochs_trained = 0.0
         masked = sum(int(mask.sum()) for mask in masks.values())
@@ -330,11 +385,21 @@ class ReduceFramework:
         policy: RetrainingPolicy,
         progress: bool = False,
     ) -> CampaignResult:
-        """Run Step 3 for every chip under an arbitrary retraining policy."""
+        """Run Step 3 for every chip under an arbitrary retraining policy.
+
+        The initial accuracy checkpoints of all chips are evaluated first in
+        batched multi-chip passes (:meth:`triage_population`); the per-chip
+        retraining loop then starts from those values.
+        """
         amounts = policy.epochs_for_population(population)
+        triage = self.triage_population(population)
         results: List[ChipRetrainingResult] = []
         for chip in population:
-            result = self.retrain_chip(chip, amounts[chip.chip_id])
+            result = self.retrain_chip(
+                chip,
+                amounts[chip.chip_id],
+                accuracy_before=triage.get(chip.chip_id),
+            )
             results.append(result)
             if progress:
                 logger.info(

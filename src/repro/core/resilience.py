@@ -12,11 +12,13 @@ the paper).  The result is a :class:`~repro.core.profiles.ResilienceProfile`.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import nn
+from repro.accelerator.batched import BatchedFaultEvaluator
+from repro.accelerator.fault_map import FaultMap
 from repro.accelerator.fault_models import FaultModel, RandomFaultModel
 from repro.accelerator.systolic_array import SystolicArray
 from repro.core.profiles import ResilienceProfile
@@ -89,12 +91,49 @@ class ResilienceAnalyzer:
     def _restore_pretrained(self) -> None:
         self.model.load_state_dict(self.pretrained_state)
 
-    def _run_trial(self, fault_rate: float, trial_index: int) -> List[float]:
-        """Accuracies at [0.0] + epoch_checkpoints for one random fault map."""
+    def _trial_fault_map(self, fault_rate: float, trial_index: int) -> Tuple[int, FaultMap]:
+        """The (seed, fault map) pair of one trial, derived deterministically."""
         config = self.config
         trial_seed = derive_seed(config.seed, "trial", f"{fault_rate:.6f}", trial_index)
         rng = np.random.default_rng(trial_seed)
         fault_map = config.fault_model.sample(self.array.rows, self.array.cols, fault_rate, rng)
+        return trial_seed, fault_map
+
+    def _initial_accuracies(self, fault_maps: Sequence[FaultMap], chip_chunk: int = 16) -> List[float]:
+        """Zero-epoch accuracy of every trial's masked model, batched.
+
+        All trials start from the same pre-trained weights and differ only in
+        their fault masks, so their 0.0-epoch checkpoints are B masked
+        variants of one evaluation — exactly the workload
+        :class:`~repro.accelerator.batched.BatchedFaultEvaluator` batches.
+        Masks are built (and released) chunk by chunk to bound peak memory.
+        """
+        accuracies: List[float] = []
+        self._restore_pretrained()
+        eval_batch = self.config.training.batch_size * 4
+        for start in range(0, len(fault_maps), chip_chunk):
+            mask_sets = [
+                build_fap_masks(self.model, fault_map)
+                for fault_map in fault_maps[start:start + chip_chunk]
+            ]
+            evaluator = BatchedFaultEvaluator(self.model, mask_sets)
+            accuracies.extend(
+                evaluator.evaluate_accuracy(self.bundle.test, batch_size=eval_batch)
+            )
+        return accuracies
+
+    def _run_trial(
+        self,
+        fault_rate: float,
+        trial_index: int,
+        fault_map: Optional[FaultMap] = None,
+        initial_accuracy: Optional[float] = None,
+    ) -> List[float]:
+        """Accuracies at [0.0] + epoch_checkpoints for one random fault map."""
+        config = self.config
+        trial_seed = derive_seed(config.seed, "trial", f"{fault_rate:.6f}", trial_index)
+        if fault_map is None:
+            _, fault_map = self._trial_fault_map(fault_rate, trial_index)
 
         self._restore_pretrained()
         masks = build_fap_masks(self.model, fault_map)
@@ -106,12 +145,19 @@ class ResilienceAnalyzer:
             config=training_config,
             masks=masks,
         )
+        if initial_accuracy is None:
+            history = trainer.train(
+                epochs=config.max_epochs,
+                eval_checkpoints=list(config.epoch_checkpoints),
+                include_initial=True,
+            )
+            return history.accuracies
         history = trainer.train(
             epochs=config.max_epochs,
             eval_checkpoints=list(config.epoch_checkpoints),
-            include_initial=True,
+            include_initial=False,
         )
-        return history.accuracies
+        return [initial_accuracy] + history.accuracies
 
     def run(self, progress: bool = False) -> ResilienceProfile:
         """Execute the full grid and return the resilience profile."""
@@ -123,27 +169,44 @@ class ResilienceAnalyzer:
         accuracies = np.zeros(
             (len(config.fault_rates), config.trials_per_rate, len(checkpoints)), dtype=float
         )
+        # Derive every trial's fault map up front, then evaluate all their
+        # 0.0-epoch checkpoints in batched multi-chip sweeps; the progressive
+        # retraining below skips its (serial) initial evaluation.
+        trial_grid = [
+            (rate_index, fault_rate, trial_index)
+            for rate_index, fault_rate in enumerate(config.fault_rates)
+            if fault_rate != 0.0
+            for trial_index in range(config.trials_per_rate)
+        ]
+        trial_maps = [
+            self._trial_fault_map(fault_rate, trial_index)[1]
+            for _, fault_rate, trial_index in trial_grid
+        ]
+        initial = self._initial_accuracies(trial_maps)
         for rate_index, fault_rate in enumerate(config.fault_rates):
             # A fault rate of exactly zero is deterministic: no faults, no
             # retraining effect; trials would waste work, so evaluate once.
             if fault_rate == 0.0:
                 accuracies[rate_index, :, :] = clean_accuracy
-                continue
-            for trial_index in range(config.trials_per_rate):
-                trial_accuracies = self._run_trial(fault_rate, trial_index)
-                if len(trial_accuracies) != len(checkpoints):
-                    raise RuntimeError(
-                        "trial returned an unexpected number of checkpoints: "
-                        f"{len(trial_accuracies)} vs {len(checkpoints)}"
-                    )
-                accuracies[rate_index, trial_index, :] = trial_accuracies
-                if progress:
-                    logger.info(
-                        "resilience: rate=%.3f trial=%d final_acc=%.3f",
-                        fault_rate,
-                        trial_index,
-                        trial_accuracies[-1],
-                    )
+        for (rate_index, fault_rate, trial_index), fault_map, initial_accuracy in zip(
+            trial_grid, trial_maps, initial
+        ):
+            trial_accuracies = self._run_trial(
+                fault_rate, trial_index, fault_map=fault_map, initial_accuracy=initial_accuracy
+            )
+            if len(trial_accuracies) != len(checkpoints):
+                raise RuntimeError(
+                    "trial returned an unexpected number of checkpoints: "
+                    f"{len(trial_accuracies)} vs {len(checkpoints)}"
+                )
+            accuracies[rate_index, trial_index, :] = trial_accuracies
+            if progress:
+                logger.info(
+                    "resilience: rate=%.3f trial=%d final_acc=%.3f",
+                    fault_rate,
+                    trial_index,
+                    trial_accuracies[-1],
+                )
         # Leave the model in its pre-trained state for downstream users.
         self._restore_pretrained()
         return ResilienceProfile(

@@ -15,7 +15,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.nn.tensor import Function, Tensor, as_tensor
+from repro.nn.tensor import Function, Tensor, as_tensor, is_grad_enabled
 
 IntPair = Union[int, Tuple[int, int]]
 
@@ -26,6 +26,14 @@ def _pair(value: IntPair) -> Tuple[int, int]:
             raise ValueError(f"expected a pair, got {value}")
         return int(value[0]), int(value[1])
     return int(value), int(value)
+
+
+def _pad_nchw(x: np.ndarray, ph: int, pw: int) -> np.ndarray:
+    """Zero-pad the spatial dims (faster than the generic ``np.pad``)."""
+    n, c, h, w = x.shape
+    padded = np.zeros((n, c, h + 2 * ph, w + 2 * pw), dtype=x.dtype)
+    padded[:, :, ph:ph + h, pw:pw + w] = x
+    return padded
 
 
 # ---------------------------------------------------------------------------
@@ -49,7 +57,7 @@ def im2col(
     ph, pw = padding
     n, c, h, w = x.shape
     if ph or pw:
-        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+        x = _pad_nchw(x, ph, pw)
     padded_h, padded_w = h + 2 * ph, w + 2 * pw
     if padded_h < kh or padded_w < kw:
         raise ValueError(
@@ -58,10 +66,49 @@ def im2col(
     out_h = (padded_h - kh) // sh + 1
     out_w = (padded_w - kw) // sw + 1
     windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
-    windows = windows[:, :, ::sh, ::sw, :, :]
-    # (n, c, out_h, out_w, kh, kw) -> (n, out_h, out_w, c, kh, kw)
+    if sh != 1 or sw != 1:
+        windows = windows[:, :, ::sh, ::sw, :, :]
+    # (n, c, out_h, out_w, kh, kw) -> (n, out_h, out_w, c, kh, kw); the reshape
+    # of the transposed view is the single unavoidable copy of this lowering
+    # (the result of reshaping a non-contiguous view is already C-contiguous,
+    # so no extra ascontiguousarray pass is needed).
     cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kh * kw)
-    return np.ascontiguousarray(cols), out_h, out_w
+    return cols, out_h, out_w
+
+
+def im2col_t(
+    x: np.ndarray,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, int, int]:
+    """Transposed im2col: returns ``(colsT, out_h, out_w)`` with ``colsT`` of
+    shape ``(C * kh * kw, N * out_h * out_w)``.
+
+    ``colsT`` is ``im2col(...)[0].T`` exactly, but materialised in the
+    K-major layout, whose gather copies run over the (partially contiguous)
+    spatial window axes instead of the tiny kernel axes — measurably faster
+    than the row-major ``im2col`` copy for stride-1 convolutions.  The
+    ``(P, K)`` operand of the GEMM is then the zero-copy view ``colsT.T``.
+    """
+    kh, kw = kernel_size
+    sh, sw = stride
+    ph, pw = padding
+    n, c, h, w = x.shape
+    if ph or pw:
+        x = _pad_nchw(x, ph, pw)
+    padded_h, padded_w = h + 2 * ph, w + 2 * pw
+    if padded_h < kh or padded_w < kw:
+        raise ValueError(
+            f"kernel {kernel_size} larger than padded input ({padded_h}, {padded_w})"
+        )
+    out_h = (padded_h - kh) // sh + 1
+    out_w = (padded_w - kw) // sw + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    if sh != 1 or sw != 1:
+        windows = windows[:, :, ::sh, ::sw, :, :]
+    colsT = windows.transpose(1, 4, 5, 0, 2, 3).reshape(c * kh * kw, n * out_h * out_w)
+    return colsT, out_h, out_w
 
 
 def col2im(
@@ -89,6 +136,38 @@ def col2im(
     return dx
 
 
+def col2im_t(
+    colsT: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Scatter-add the inverse of :func:`im2col_t` (K-major column gradients).
+
+    Accepts the ``(C * kh * kw, N * out_h * out_w)`` layout produced directly
+    by the backward GEMM ``weight_matrix.T @ grad_t``, so no reshape-copy of
+    the column gradient is needed before the scatter; each phase slice adds
+    the same elements in the same order as :func:`col2im`.
+    """
+    kh, kw = kernel_size
+    sh, sw = stride
+    ph, pw = padding
+    n, c, h, w = x_shape
+    padded_h, padded_w = h + 2 * ph, w + 2 * pw
+    dx = np.zeros((n, c, padded_h, padded_w), dtype=colsT.dtype)
+    colsK = colsT.reshape(c, kh, kw, n, out_h, out_w)
+    for i in range(kh):
+        for j in range(kw):
+            view = dx[:, :, i:i + sh * out_h:sh, j:j + sw * out_w:sw]
+            view += colsK[:, i, j].transpose(1, 0, 2, 3)
+    if ph or pw:
+        dx = dx[:, :, ph:ph + h, pw:pw + w]
+    return dx
+
+
 # ---------------------------------------------------------------------------
 # Convolution
 # ---------------------------------------------------------------------------
@@ -110,30 +189,45 @@ class Conv2dFunction(Function):
             raise ValueError(
                 f"input has {x.shape[1]} channels but weight expects {in_channels}"
             )
-        cols, out_h, out_w = im2col(x, (kh, kw), stride, padding)
+        colsT, out_h, out_w = im2col_t(x, (kh, kw), stride, padding)
         weight_matrix = weight.reshape(out_channels, -1)
-        out = cols @ weight_matrix.T
+        # (O, K) @ (K, P): same dot products as ``cols @ weight_matrix.T``
+        # with the faster K-major lowering; the transpose back to NCHW is the
+        # one output copy either way.
+        out_t = weight_matrix @ colsT
         if bias is not None:
-            out = out + bias
+            out_t += bias[:, None]
         n = x.shape[0]
-        out = out.reshape(n, out_h, out_w, out_channels).transpose(0, 3, 1, 2)
-        self.save_for_backward(
-            cols, weight, x.shape, (kh, kw), stride, padding, out_h, out_w, bias is not None
-        )
+        out = out_t.reshape(out_channels, n, out_h, out_w).transpose(1, 0, 2, 3)
+        if is_grad_enabled():
+            # ``colsT`` is the dominant memory cost of a conv layer; only
+            # keep it alive when a backward pass can actually consume it.
+            self.save_for_backward(
+                colsT, weight, x.shape, (kh, kw), stride, padding, out_h, out_w, bias is not None
+            )
         return np.ascontiguousarray(out)
 
     def backward(self, grad_output: np.ndarray):
-        cols, weight, x_shape, kernel, stride, padding, out_h, out_w, has_bias = self.saved
+        colsT, weight, x_shape, kernel, stride, padding, out_h, out_w, has_bias = self.saved
         out_channels = weight.shape[0]
         n = x_shape[0]
-        # (n, O, oh, ow) -> (n * oh * ow, O)
-        grad_2d = grad_output.transpose(0, 2, 3, 1).reshape(n * out_h * out_w, out_channels)
-        weight_matrix = weight.reshape(out_channels, -1)
-        grad_weight = (grad_2d.T @ cols).reshape(weight.shape)
-        grad_cols = grad_2d @ weight_matrix
-        grad_x = col2im(grad_cols, x_shape, kernel, stride, padding, out_h, out_w)
+        # (n, O, oh, ow) -> (O, n * oh * ow): this channel-major copy moves
+        # contiguous spatial blocks (several times faster than gathering the
+        # (P, O) layout) and feeds every GEMM below directly.
+        grad_t = grad_output.transpose(1, 0, 2, 3).reshape(out_channels, n * out_h * out_w)
+        grad_weight = (grad_t @ colsT.T).reshape(weight.shape)
+        grad_x = None
+        if not self.needs_input_grad or self.needs_input_grad[0]:
+            # The col2im scatter is the most expensive part of the conv
+            # backward; skip it when the input needs no gradient (the first
+            # layer of every model — its input is the data batch).  The
+            # column gradient is produced straight in the K-major layout the
+            # scatter consumes, avoiding a reshape copy.
+            weight_matrix = weight.reshape(out_channels, -1)
+            grad_colsT = weight_matrix.T @ grad_t
+            grad_x = col2im_t(grad_colsT, x_shape, kernel, stride, padding, out_h, out_w)
         if has_bias:
-            grad_bias = grad_2d.sum(axis=0)
+            grad_bias = grad_t.sum(axis=1)
             return grad_x, grad_weight, grad_bias
         return grad_x, grad_weight
 
@@ -170,29 +264,51 @@ class MaxPool2dFunction(Function):
         n, c, h, w = x.shape
         out_h = (h - kh) // sh + 1
         out_w = (w - kw) // sw + 1
-        windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
-        windows = windows[:, :, ::sh, ::sw, :, :]
-        flat = windows.reshape(n, c, out_h, out_w, kh * kw)
-        argmax = flat.argmax(axis=-1)
-        out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+        if not is_grad_enabled():
+            # Inference fast path: reduce the kh*kw window positions with
+            # elementwise maxima over strided phase views — no window
+            # materialisation, no argmax bookkeeping, zero temporary copies
+            # beyond the running maximum itself.
+            out = None
+            for i in range(kh):
+                for j in range(kw):
+                    phase = x[:, :, i:i + sh * out_h:sh, j:j + sw * out_w:sw]
+                    if out is None:
+                        out = phase.copy()
+                    else:
+                        np.maximum(out, phase, out=out)
+            return out
+        # Training path: the same phase-view sweep also tracks the winning
+        # within-window flat index.  Only a strictly greater value replaces
+        # the running maximum, so ties resolve to the first (row-major)
+        # window position — identical to ``argmax`` over the window axis.
+        out = None
+        argmax = None
+        for i in range(kh):
+            for j in range(kw):
+                phase = x[:, :, i:i + sh * out_h:sh, j:j + sw * out_w:sw]
+                if out is None:
+                    out = phase.copy()
+                    argmax = np.zeros(out.shape, dtype=np.int16)
+                else:
+                    better = phase > out
+                    np.maximum(out, phase, out=out)
+                    argmax[better] = i * kw + j
         self.save_for_backward(x.shape, kernel_size, stride, argmax, out_h, out_w)
-        return np.ascontiguousarray(out)
+        return out
 
     def backward(self, grad_output: np.ndarray):
         x_shape, (kh, kw), (sh, sw), argmax, out_h, out_w = self.saved
-        n, c, h, w = x_shape
         dx = np.zeros(x_shape, dtype=grad_output.dtype)
-        # Convert flat within-window argmax to absolute coordinates.
-        win_row = argmax // kw
-        win_col = argmax % kw
-        base_rows = (np.arange(out_h) * sh)[None, None, :, None]
-        base_cols = (np.arange(out_w) * sw)[None, None, None, :]
-        rows = base_rows + win_row
-        cols = base_cols + win_col
-        n_idx = np.arange(n)[:, None, None, None]
-        c_idx = np.arange(c)[None, :, None, None]
-        n_b, c_b, rows_b, cols_b = np.broadcast_arrays(n_idx, c_idx, rows, cols)
-        np.add.at(dx, (n_b.ravel(), c_b.ravel(), rows_b.ravel(), cols_b.ravel()), grad_output.ravel())
+        # Route each window's gradient to its argmax position, one window
+        # phase at a time: within a phase every target element is distinct,
+        # so a masked strided accumulate replaces the (much slower) np.add.at
+        # scatter.  Overlapping windows accumulate across phase iterations.
+        for i in range(kh):
+            for j in range(kw):
+                selected = argmax == (i * kw + j)
+                view = dx[:, :, i:i + sh * out_h:sh, j:j + sw * out_w:sw]
+                view += grad_output * selected
         return (dx,)
 
 
@@ -213,7 +329,8 @@ class AvgPool2dFunction(Function):
         kh, kw = kernel_size
         sh, sw = stride
         windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
-        windows = windows[:, :, ::sh, ::sw, :, :]
+        if sh != 1 or sw != 1:
+            windows = windows[:, :, ::sh, ::sw, :, :]
         out = windows.mean(axis=(-2, -1))
         self.save_for_backward(x.shape, kernel_size, stride, out.shape)
         return np.ascontiguousarray(out)
@@ -302,6 +419,14 @@ def batch_norm(
     return out, running_mean, running_var
 
 
+# Fallback generator for ``dropout`` calls that pass no ``rng``.  A fresh
+# unseeded ``default_rng()`` per call would make otherwise fully-seeded
+# training runs nondeterministic; stateful callers (``nn.Dropout``) thread a
+# per-layer generator derived from the trainer seed instead (see
+# ``repro.training.seed_stochastic_layers``).
+_FALLBACK_DROPOUT_RNG = np.random.default_rng(0)
+
+
 def dropout(
     x: Tensor,
     p: float,
@@ -313,7 +438,7 @@ def dropout(
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
     if not training or p == 0.0:
         return x
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = rng if rng is not None else _FALLBACK_DROPOUT_RNG
     mask = (generator.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
     return x * mask
 

@@ -231,7 +231,13 @@ class Flatten(Module):
 
 
 class Dropout(Module):
-    """Inverted dropout; active only in training mode."""
+    """Inverted dropout; active only in training mode.
+
+    The layer owns its generator so masks are reproducible; trainers reseed
+    it from their derived seed (via :meth:`reseed`) so that two training runs
+    with the same :class:`~repro.training.TrainingConfig` draw identical masks
+    even when the layer was constructed without an explicit ``rng``.
+    """
 
     def __init__(self, p: float = 0.5, rng: SeedLike = None) -> None:
         super().__init__()
@@ -239,6 +245,10 @@ class Dropout(Module):
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = p
         self._rng = new_rng(rng)
+
+    def reseed(self, seed: SeedLike) -> None:
+        """Replace the layer's generator (used to thread the trainer seed)."""
+        self._rng = new_rng(seed)
 
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.p, training=self.training, rng=self._rng)

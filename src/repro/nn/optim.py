@@ -45,6 +45,19 @@ class Optimizer:
     def _param_state(self, index: int) -> Dict[str, np.ndarray]:
         return self.state.setdefault(index, {})
 
+    def _scratch(self, state: Dict[str, np.ndarray], name: str, like: np.ndarray) -> np.ndarray:
+        """Preallocated per-parameter work buffer (reused across steps).
+
+        The hot update paths write every intermediate into these buffers, so a
+        step allocates nothing after the first; the buffer is recreated only
+        if the parameter's shape or dtype changed (e.g. ``load_state_dict``).
+        """
+        buf = state.get(name)
+        if buf is None or buf.shape != like.shape or buf.dtype != like.dtype:
+            buf = np.empty_like(like)
+            state[name] = buf
+        return buf
+
     @property
     def step_count(self) -> int:
         return self._step_count
@@ -73,18 +86,34 @@ class SGD(Optimizer):
         self.nesterov = nesterov
 
     def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:
+        # All arithmetic below matches the textbook formulation value-for-value
+        # (same operations in the same order); the only change is that every
+        # intermediate lands in a preallocated buffer and the parameter is
+        # updated in place, so a step performs zero array allocations.
+        state = self._param_state(index)
         if self.weight_decay:
-            grad = grad + self.weight_decay * param.data
+            scratch = self._scratch(state, "scratch", param.data)
+            np.multiply(param.data, self.weight_decay, out=scratch)
+            np.add(grad, scratch, out=scratch)
+            grad = scratch
         if self.momentum:
-            state = self._param_state(index)
             buf = state.get("momentum")
-            if buf is None:
+            if buf is None or buf.shape != grad.shape:
                 buf = grad.copy()
+                state["momentum"] = buf
             else:
-                buf = self.momentum * buf + grad
-            state["momentum"] = buf
-            grad = grad + self.momentum * buf if self.nesterov else buf
-        param.data = param.data - self.lr * grad
+                buf *= self.momentum
+                buf += grad
+            if self.nesterov:
+                nesterov = self._scratch(state, "nesterov", param.data)
+                np.multiply(buf, self.momentum, out=nesterov)
+                np.add(grad, nesterov, out=nesterov)
+                grad = nesterov
+            else:
+                grad = buf
+        step_buf = self._scratch(state, "step", param.data)
+        np.multiply(grad, self.lr, out=step_buf)
+        np.subtract(param.data, step_buf, out=param.data)
 
 
 class Adam(Optimizer):
@@ -108,21 +137,41 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
 
     def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:
-        if self.weight_decay:
-            grad = grad + self.weight_decay * param.data
+        # Same math as the textbook update (identical operation order), with
+        # every intermediate written into preallocated per-parameter buffers.
         state = self._param_state(index)
+        if self.weight_decay:
+            scratch = self._scratch(state, "scratch", param.data)
+            np.multiply(param.data, self.weight_decay, out=scratch)
+            np.add(grad, scratch, out=scratch)
+            grad = scratch
         m = state.get("m")
         v = state.get("v")
         step = state.get("step", 0) + 1
-        if m is None:
+        if m is None or m.shape != param.data.shape:
             m = np.zeros_like(param.data)
             v = np.zeros_like(param.data)
-        m = self.beta1 * m + (1 - self.beta1) * grad
-        v = self.beta2 * v + (1 - self.beta2) * (grad * grad)
-        state["m"], state["v"], state["step"] = m, v, step
-        m_hat = m / (1 - self.beta1 ** step)
-        v_hat = v / (1 - self.beta2 ** step)
-        param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            state["m"], state["v"] = m, v
+        state["step"] = step
+        work = self._scratch(state, "work", param.data)
+        # m = beta1 * m + (1 - beta1) * grad
+        m *= self.beta1
+        np.multiply(grad, 1 - self.beta1, out=work)
+        m += work
+        # v = beta2 * v + (1 - beta2) * grad^2
+        v *= self.beta2
+        np.multiply(grad, grad, out=work)
+        work *= 1 - self.beta2
+        v += work
+        # param -= lr * m_hat / (sqrt(v_hat) + eps)
+        denom = self._scratch(state, "denom", param.data)
+        np.divide(v, 1 - self.beta2 ** step, out=denom)
+        np.sqrt(denom, out=denom)
+        denom += self.eps
+        np.divide(m, 1 - self.beta1 ** step, out=work)
+        work *= self.lr
+        np.divide(work, denom, out=work)
+        np.subtract(param.data, work, out=param.data)
 
 
 class AdamW(Adam):
@@ -130,7 +179,10 @@ class AdamW(Adam):
 
     def _update(self, index: int, param: Parameter, grad: np.ndarray) -> None:
         if self.weight_decay:
-            param.data = param.data - self.lr * self.weight_decay * param.data
+            state = self._param_state(index)
+            decay = self._scratch(state, "decay", param.data)
+            np.multiply(param.data, self.lr * self.weight_decay, out=decay)
+            np.subtract(param.data, decay, out=param.data)
         weight_decay, self.weight_decay = self.weight_decay, 0.0
         try:
             super()._update(index, param, grad)
@@ -212,5 +264,5 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     if total > max_norm:
         scale = max_norm / (total + 1e-12)
         for p in params:
-            p.grad = p.grad * scale
+            np.multiply(p.grad, scale, out=p.grad)
     return total

@@ -83,6 +83,11 @@ class Function:
     def __init__(self) -> None:
         self.parents: Tuple["Tensor", ...] = ()
         self.saved: Tuple[Any, ...] = ()
+        # Which positional tensor inputs need a gradient; backward
+        # implementations may skip computing gradients (returning None) for
+        # inputs flagged False — e.g. the conv input-gradient scatter for the
+        # first layer, whose input is the data batch.
+        self.needs_input_grad: Tuple[bool, ...] = ()
 
     def save_for_backward(self, *values: Any) -> None:
         self.saved = values
@@ -97,8 +102,21 @@ class Function:
     def apply(cls, *args: Any, **kwargs: Any) -> "Tensor":
         ctx = cls()
         tensor_inputs = tuple(a for a in args if isinstance(a, Tensor))
+        ctx.needs_input_grad = tuple(
+            is_grad_enabled() and t.requires_grad for t in tensor_inputs
+        )
         raw_args = [a.data if isinstance(a, Tensor) else a for a in args]
         output_data = ctx.forward(*raw_args, **kwargs)
+        # Float32 dtype discipline: an op whose tensor inputs are all float32
+        # must not silently promote its output to float64 (e.g. via a numpy
+        # scalar operand) — a promotion would cascade through the rest of the
+        # graph, doubling memory traffic on every downstream hot path.
+        if (
+            output_data.dtype == np.float64
+            and tensor_inputs
+            and all(t.data.dtype != np.float64 for t in tensor_inputs)
+        ):
+            output_data = output_data.astype(DEFAULT_DTYPE)
         requires_grad = is_grad_enabled() and any(t.requires_grad for t in tensor_inputs)
         output = Tensor(output_data, requires_grad=requires_grad)
         if requires_grad:
@@ -403,7 +421,9 @@ class Linear(Function):
 
     def backward(self, grad_output: np.ndarray):
         x, weight, has_bias = self.saved
-        grad_x = grad_output @ weight
+        grad_x = None
+        if not self.needs_input_grad or self.needs_input_grad[0]:
+            grad_x = grad_output @ weight
         grad_w = grad_output.T @ x
         if has_bias:
             grad_b = grad_output.sum(axis=0)
@@ -527,8 +547,14 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
+        keep_float64 = isinstance(data, (np.ndarray, np.generic)) and data.dtype == np.float64
         array = np.asarray(data, dtype=dtype if dtype is not None else None)
-        if array.dtype not in (np.float32, np.float64) and dtype is None:
+        if dtype is None and array.dtype not in (np.float32, np.float64):
+            array = array.astype(DEFAULT_DTYPE)
+        elif dtype is None and array.dtype == np.float64 and not keep_float64:
+            # Python floats / lists default to float64 under numpy; the
+            # library-wide default dtype is float32, so only explicit float64
+            # ndarrays (e.g. for numeric-gradient checks) keep double width.
             array = array.astype(DEFAULT_DTYPE)
         self.data: np.ndarray = array
         self.requires_grad: bool = bool(requires_grad)

@@ -185,22 +185,69 @@ def evaluate_loss(
     return total_loss / total if total else 0.0
 
 
+@dataclasses.dataclass
+class MaskedParameter:
+    """One weight tensor with its fault mask, resolved to the live parameter.
+
+    ``keep`` is the float32 multiplicative complement of the boolean mask
+    (1.0 = trainable, 0.0 = clamped); multiplying by it in place enforces the
+    mask without boolean fancy-indexing or temporary allocations.
+    """
+
+    name: str
+    weight: nn.Tensor
+    mask: np.ndarray
+    keep: np.ndarray
+
+    def enforce_weight(self) -> None:
+        np.multiply(self.weight.data, self.keep, out=self.weight.data)
+
+    def enforce_grad(self) -> None:
+        grad = self.weight.grad
+        if grad is not None:
+            np.multiply(grad, self.keep, out=grad)
+
+
+def _resolve_masked_weight(model_modules: Dict[str, nn.Module], name: str, mask: np.ndarray):
+    """Look up and validate the weight tensor a mask applies to."""
+    if name not in model_modules:
+        raise KeyError(f"mask refers to unknown layer {name!r}")
+    weight = getattr(model_modules[name], "weight", None)
+    if weight is None:
+        raise ValueError(f"layer {name!r} has no weight to mask")
+    if mask.shape != weight.data.shape:
+        raise ValueError(
+            f"mask shape {mask.shape} does not match weight shape {weight.data.shape} for layer {name!r}"
+        )
+    return weight
+
+
+def resolve_masked_parameters(
+    model: nn.Module, masks: Optional[MaskDict]
+) -> List[MaskedParameter]:
+    """Resolve mask names to live weight tensors once (hot loops reuse this).
+
+    Validates exactly like the per-call path: unknown layer names and shape
+    mismatches raise immediately rather than mid-training.
+    """
+    if not masks:
+        return []
+    modules = dict(model.named_modules())
+    resolved: List[MaskedParameter] = []
+    for name, mask in masks.items():
+        weight = _resolve_masked_weight(modules, name, mask)
+        keep = np.where(mask, np.float32(0.0), np.float32(1.0))
+        resolved.append(MaskedParameter(name=name, weight=weight, mask=mask, keep=keep))
+    return resolved
+
+
 def apply_weight_masks(model: nn.Module, masks: Optional[MaskDict]) -> None:
     """Zero out the weights selected by ``masks`` (True = forced to zero)."""
     if not masks:
         return
     modules = dict(model.named_modules())
     for name, mask in masks.items():
-        if name not in modules:
-            raise KeyError(f"mask refers to unknown layer {name!r}")
-        module = modules[name]
-        weight = getattr(module, "weight", None)
-        if weight is None:
-            raise ValueError(f"layer {name!r} has no weight to mask")
-        if mask.shape != weight.data.shape:
-            raise ValueError(
-                f"mask shape {mask.shape} does not match weight shape {weight.data.shape} for layer {name!r}"
-            )
+        weight = _resolve_masked_weight(modules, name, mask)
         weight.data[mask] = 0.0
 
 
@@ -216,6 +263,23 @@ def mask_gradients(model: nn.Module, masks: Optional[MaskDict]) -> None:
         weight = getattr(module, "weight", None)
         if weight is not None and weight.grad is not None:
             weight.grad[mask] = 0.0
+
+
+def seed_stochastic_layers(model: nn.Module, seed: SeedLike) -> int:
+    """Reseed every stochastic layer (dropout) from a derived per-layer seed.
+
+    Without this, dropout layers constructed without an explicit ``rng`` draw
+    from an unseeded generator and two otherwise-identical training runs
+    diverge.  Returns the number of layers reseeded.
+    """
+    base = int(seed) if isinstance(seed, (int, np.integer)) else 0
+    reseeded = 0
+    for name, module in model.named_modules():
+        reseed = getattr(module, "reseed", None)
+        if callable(reseed):
+            reseed(derive_seed(base, "dropout", name))
+            reseeded += 1
+    return reseeded
 
 
 def epochs_to_steps(epochs: float, batches_per_epoch: int) -> int:
@@ -254,8 +318,16 @@ class Trainer:
         self.optimizer = self.config.build_optimizer(model.parameters())
         self.steps_taken = 0
         self.batches_per_epoch = max(1, len(self.train_loader))
+        # Resolve mask → parameter bindings once; the per-step hot loop then
+        # enforces masks via in-place float multiplies instead of re-walking
+        # ``named_modules()`` and boolean fancy-indexing on every step.
+        self._masked_params = resolve_masked_parameters(self.model, self.masks)
+        # Stochastic layers (dropout) draw from generators derived from the
+        # trainer seed so two trainers with the same config are bit-identical.
+        seed_stochastic_layers(self.model, self.config.seed)
         # Enforce the masks on the starting weights (FAP before FAT).
-        apply_weight_masks(self.model, self.masks)
+        for masked in self._masked_params:
+            masked.weight.data[masked.mask] = 0.0
 
     @property
     def epochs_taken(self) -> float:
@@ -276,11 +348,15 @@ class Trainer:
                 )
                 self.optimizer.zero_grad()
                 loss.backward()
-                mask_gradients(self.model, self.masks)
+                for masked in self._masked_params:
+                    masked.enforce_grad()
                 if self.config.grad_clip is not None:
-                    nn.clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+                    # The optimizer already holds the resolved parameter list;
+                    # avoid re-walking the module tree every step.
+                    nn.clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
                 self.optimizer.step()
-                apply_weight_masks(self.model, self.masks)
+                for masked in self._masked_params:
+                    masked.enforce_weight()
                 losses.append(loss.item())
                 self.steps_taken += 1
                 remaining -= 1

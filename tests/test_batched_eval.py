@@ -1,0 +1,178 @@
+"""Exact-equivalence tests for the batched multi-chip evaluator.
+
+The contract of :class:`~repro.accelerator.batched.BatchedFaultEvaluator` is
+that evaluating B chips in one batched sweep returns exactly what B serial
+``apply masks -> evaluate_accuracy`` passes return.  Logits are compared to
+float32 ``atol=1e-6`` (the shared-prefix wide GEMM may differ from the serial
+2-D GEMM within float32 rounding on BLAS builds with width-dependent kernel
+selection; on the build used in development they are bit-identical) and the
+derived accuracies must match exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.accelerator import (
+    BatchedFaultEvaluator,
+    FaultMap,
+    evaluate_chip_accuracies,
+    model_fault_masks,
+)
+from repro.data.dataloader import DataLoader
+from repro.models import MLP
+from repro.training import apply_weight_masks, evaluate_accuracy
+
+
+def _serial_accuracies(model, pretrained, mask_sets, dataset):
+    accuracies = []
+    for masks in mask_sets:
+        model.load_state_dict(pretrained)
+        apply_weight_masks(model, masks)
+        accuracies.append(evaluate_accuracy(model, dataset))
+    model.load_state_dict(pretrained)
+    return accuracies
+
+
+def _serial_logits(model, pretrained, masks, inputs):
+    model.load_state_dict(pretrained)
+    apply_weight_masks(model, masks)
+    model.eval()
+    with nn.no_grad():
+        logits = model(inputs).data.copy()
+    model.load_state_dict(pretrained)
+    return logits
+
+
+def _small_cnn(image_bundle):
+    channels = image_bundle.input_shape[0]
+    return nn.Sequential(
+        nn.Conv2d(channels, 4, 3, padding=1, rng=0),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Conv2d(4, 6, 3, padding=1, rng=1),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(),
+        nn.Linear(6 * 2 * 2, image_bundle.num_classes, rng=2),
+    )
+
+
+@pytest.fixture
+def conv_setup(image_bundle):
+    model = _small_cnn(image_bundle)
+    pretrained = model.state_dict()
+    maps = [FaultMap.random(16, 16, 0.05 + 0.05 * i, seed=i) for i in range(6)]
+    mask_sets = [model_fault_masks(model, fault_map) for fault_map in maps]
+    return model, pretrained, maps, mask_sets
+
+
+class TestBatchedEquivalence:
+    def test_accuracies_match_serial_exactly(self, conv_setup, image_bundle):
+        model, pretrained, _, mask_sets = conv_setup
+        serial = _serial_accuracies(model, pretrained, mask_sets, image_bundle.test)
+        evaluator = BatchedFaultEvaluator(model, mask_sets)
+        batched = evaluator.evaluate_accuracy(image_bundle.test)
+        assert batched == serial
+
+    def test_logits_match_serial(self, conv_setup, image_bundle):
+        model, pretrained, _, mask_sets = conv_setup
+        inputs, _ = next(iter(DataLoader(image_bundle.test, batch_size=16)))
+        evaluator = BatchedFaultEvaluator(model, mask_sets)
+        batched = evaluator.evaluate_logits(inputs)
+        assert batched.shape[0] == len(mask_sets)
+        for index, masks in enumerate(mask_sets):
+            serial = _serial_logits(model, pretrained, masks, inputs)
+            np.testing.assert_allclose(batched[index], serial, rtol=0.0, atol=1e-6)
+
+    def test_from_fault_maps_matches_mask_sets(self, conv_setup, image_bundle):
+        model, _, maps, mask_sets = conv_setup
+        by_masks = BatchedFaultEvaluator(model, mask_sets).evaluate_accuracy(image_bundle.test)
+        by_maps = BatchedFaultEvaluator.from_fault_maps(model, maps).evaluate_accuracy(
+            image_bundle.test
+        )
+        assert by_maps == by_masks
+
+    def test_chip_chunking_is_transparent(self, conv_setup, image_bundle):
+        model, _, _, mask_sets = conv_setup
+        full = BatchedFaultEvaluator(model, mask_sets).evaluate_accuracy(image_bundle.test)
+        for chunk in (1, 2, 4, len(mask_sets) + 3):
+            chunked = evaluate_chip_accuracies(
+                model, image_bundle.test, mask_sets, chip_chunk=chunk
+            )
+            assert chunked == full
+
+    def test_mlp_first_linear_shared_prefix(self, blob_bundle):
+        model = MLP(8, blob_bundle.num_classes, hidden_sizes=(16, 12), seed=1)
+        pretrained = model.state_dict()
+        maps = [FaultMap.random(8, 8, 0.1 + 0.1 * i, seed=10 + i) for i in range(4)]
+        mask_sets = [model_fault_masks(model, fault_map) for fault_map in maps]
+        serial = _serial_accuracies(model, pretrained, mask_sets, blob_bundle.test)
+        batched = BatchedFaultEvaluator(model, mask_sets).evaluate_accuracy(blob_bundle.test)
+        assert batched == serial
+
+    def test_model_state_is_untouched(self, conv_setup, image_bundle):
+        model, pretrained, _, mask_sets = conv_setup
+        was_training = model.training
+        BatchedFaultEvaluator(model, mask_sets).evaluate_accuracy(image_bundle.test)
+        assert model.training == was_training
+        for name, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, pretrained[name])
+        # The patched forwards must have been removed again.
+        for _, module in model.named_modules():
+            assert "forward" not in module.__dict__
+
+
+class TestBatchedValidation:
+    def test_empty_mask_sets_rejected(self, conv_setup):
+        model = conv_setup[0]
+        with pytest.raises(ValueError):
+            BatchedFaultEvaluator(model, [])
+
+    def test_mismatched_keys_rejected(self, conv_setup):
+        model, _, _, mask_sets = conv_setup
+        broken = dict(mask_sets[1])
+        broken.pop(next(iter(broken)))
+        with pytest.raises(ValueError):
+            BatchedFaultEvaluator(model, [mask_sets[0], broken])
+
+    def test_unknown_layer_rejected(self, conv_setup):
+        model = conv_setup[0]
+        with pytest.raises(KeyError):
+            BatchedFaultEvaluator(model, [{"no.such.layer": np.zeros((1, 1), dtype=bool)}])
+
+    def test_wrong_mask_shape_rejected(self, conv_setup):
+        model, _, _, mask_sets = conv_setup
+        name = next(iter(mask_sets[0]))
+        broken = dict(mask_sets[0])
+        broken[name] = np.zeros((1, 2), dtype=bool)
+        with pytest.raises(ValueError):
+            BatchedFaultEvaluator(model, [broken])
+
+
+class TestFrameworkTriage:
+    def test_triage_matches_serial_accuracy_before(self, smoke_context):
+        from repro.core.chips import ChipPopulation
+        from repro.utils.rng import derive_seed
+
+        framework = smoke_context.framework()
+        population = ChipPopulation.generate(
+            count=5,
+            rows=smoke_context.array.rows,
+            cols=smoke_context.array.cols,
+            fault_rates=(0.05, 0.25),
+            seed=derive_seed(123, "triage-test"),
+        )
+        triage = framework.triage_population(population)
+        assert set(triage) == {chip.chip_id for chip in population}
+        for chip in population:
+            serial = framework.retrain_chip(chip, epochs=0.0)
+            assert triage[chip.chip_id] == serial.accuracy_before
+            # A zero-epoch chip fed the triage value needs no training pass
+            # and must reproduce the serial result exactly.
+            shortcut = framework.retrain_chip(
+                chip, epochs=0.0, accuracy_before=triage[chip.chip_id]
+            )
+            assert shortcut == serial

@@ -97,5 +97,26 @@ class TestSystolicArray:
         assert restored.shape == (4, 6)
         assert restored.fault_map == fm
 
+    def test_serialization_round_trips_technology(self):
+        from repro.accelerator import ArrayTechnology
+
+        technology = ArrayTechnology(
+            frequency_mhz=1200.0,
+            mac_energy_pj=0.4,
+            sram_access_energy_pj=3.5,
+            dram_access_energy_pj=120.0,
+            bytes_per_weight=2,
+            bytes_per_activation=2,
+        )
+        array = SystolicArray(4, 6, technology=technology)
+        restored = SystolicArray.from_dict(array.to_dict())
+        assert restored.technology == technology
+
+    def test_from_dict_without_technology_uses_defaults(self):
+        from repro.accelerator import ArrayTechnology
+
+        restored = SystolicArray.from_dict({"rows": 4, "cols": 6})
+        assert restored.technology == ArrayTechnology()
+
     def test_repr(self):
         assert "SystolicArray" in repr(SystolicArray(4, 4))

@@ -172,3 +172,50 @@ def test_permutation_preserves_masked_count_property(rows, cols, rate, seed):
     permutation = np.random.default_rng(seed).permutation(cols)
     permuted = gemm_fault_mask(gemm, fault_map, column_permutation=permutation)
     assert base.sum() == permuted.sum()
+
+
+class TestMaskCache:
+    def test_cache_returns_identical_masks(self):
+        from repro.accelerator import clear_mask_cache, mask_cache_stats
+
+        clear_mask_cache()
+        fault_map = FaultMap.random(8, 8, 0.3, seed=0)
+        gemm = GemmShape(reduce_dim=24, output_dim=16)
+        first = gemm_fault_mask(gemm, fault_map)
+        second = gemm_fault_mask(gemm, fault_map)
+        # Cache hit: the very same (read-only) array object is shared.
+        assert second is first
+        assert not first.flags.writeable
+        stats = mask_cache_stats()
+        assert stats["hits"] >= 1 and stats["misses"] >= 1
+
+    def test_cache_distinguishes_maps_shapes_and_permutations(self):
+        from repro.accelerator import clear_mask_cache
+
+        clear_mask_cache()
+        map_a = FaultMap.random(8, 8, 0.3, seed=1)
+        map_b = FaultMap.random(8, 8, 0.3, seed=2)
+        gemm = GemmShape(reduce_dim=16, output_dim=16)
+        other_gemm = GemmShape(reduce_dim=8, output_dim=16)
+        permutation = np.roll(np.arange(8), 1)
+        mask_a = gemm_fault_mask(gemm, map_a)
+        mask_b = gemm_fault_mask(gemm, map_b)
+        mask_other = gemm_fault_mask(other_gemm, map_a)
+        mask_perm = gemm_fault_mask(gemm, map_a, column_permutation=permutation)
+        assert mask_a.shape != mask_other.shape
+        assert not np.array_equal(mask_a, mask_b)
+        reference = gemm_fault_mask(
+            gemm, map_a.permuted_columns(permutation)
+        )
+        np.testing.assert_array_equal(mask_perm, reference)
+
+    def test_cached_mask_values_match_uncached(self):
+        from repro.accelerator import clear_mask_cache
+
+        fault_map = FaultMap.random(6, 10, 0.4, seed=3)
+        gemm = GemmShape(reduce_dim=18, output_dim=20)
+        clear_mask_cache()
+        fresh = gemm_fault_mask(gemm, fault_map).copy()
+        clear_mask_cache()
+        again = gemm_fault_mask(gemm, fault_map)
+        np.testing.assert_array_equal(fresh, again)
