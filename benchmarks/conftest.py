@@ -11,13 +11,19 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments import ExperimentContext, build_population, fast_preset
+from repro.experiments import ExperimentContext, build_population, fast_preset, smoke_preset
 
 
 @pytest.fixture(scope="session")
 def fast_context():
     """Pre-trained context for the 'fast' preset (built once per session)."""
     return ExperimentContext.from_preset(fast_preset())
+
+
+@pytest.fixture(scope="session")
+def smoke_context():
+    """Pre-trained context for the 'smoke' preset (MLP-scale workloads)."""
+    return ExperimentContext.from_preset(smoke_preset())
 
 
 @pytest.fixture(scope="session")

@@ -140,6 +140,139 @@ def test_bench_population_triage(benchmark, fast_context, fast_population):
     assert len(triage) == len(fast_population)
 
 
+def _fat_mask_sets(context, num_chips=8):
+    fault_maps = [
+        FaultMap.random(*context.array.shape, 0.08 + 0.02 * i, seed=200 + i)
+        for i in range(num_chips)
+    ]
+    return [model_fault_masks(context.model, fault_map) for fault_map in fault_maps]
+
+
+def test_bench_fat_retraining_serial_8chips(benchmark, fast_context):
+    """Baseline Step 3: 8 chips retrained one at a time (0.5 epochs each).
+
+    This is the pre-batching campaign inner loop — restore the pre-trained
+    weights, train under the chip's masks, evaluate — and the comparator for
+    the batched benchmark below.
+    """
+    context = fast_context
+    mask_sets = _fat_mask_sets(context)
+    config = TrainingConfig(learning_rate=0.04, batch_size=40, seed=0)
+
+    def run():
+        accuracies = []
+        for masks in mask_sets:
+            context.restore_pretrained()
+            trainer = Trainer(
+                context.model,
+                context.bundle.train,
+                context.bundle.test,
+                config=config,
+                masks=masks,
+            )
+            history = trainer.train(0.5, include_initial=False)
+            accuracies.append(history.final_accuracy)
+        return accuracies
+
+    accuracies = benchmark(run)
+    context.restore_pretrained()
+    assert len(accuracies) == len(mask_sets)
+
+
+def test_bench_fat_retraining_batched_8chips(benchmark, fast_context):
+    """Batched Step 3: the same 8 chips retrained in one stacked loop.
+
+    Same chips, data, config and seed as the serial benchmark; per-chip
+    results are bit-identical (see tests/test_batched_fat.py).  The paper's
+    dominant cost is exactly this loop, so the serial/batched ratio here is
+    the campaign-throughput lever at --jobs 1.
+    """
+    from repro.accelerator.batched import BatchedFaultTrainer
+
+    context = fast_context
+    mask_sets = _fat_mask_sets(context)
+    config = TrainingConfig(learning_rate=0.04, batch_size=40, seed=0)
+
+    def run():
+        context.restore_pretrained()
+        trainer = BatchedFaultTrainer(
+            context.model,
+            mask_sets,
+            context.bundle.train,
+            context.bundle.test,
+            config=config,
+        )
+        histories = trainer.train(0.5, include_initial=False)
+        return [history.final_accuracy for history in histories]
+
+    accuracies = benchmark(run)
+    context.restore_pretrained()
+    assert len(accuracies) == len(mask_sets)
+
+
+def _mlp_fat_setup(context, num_chips=8):
+    mask_sets = [
+        model_fault_masks(
+            context.model, FaultMap.random(*context.array.shape, 0.05 + 0.02 * i, seed=300 + i)
+        )
+        for i in range(num_chips)
+    ]
+    config = TrainingConfig(learning_rate=0.05, batch_size=32, seed=0)
+    return mask_sets, config
+
+
+def test_bench_fat_retraining_serial_mlp_8chips(benchmark, smoke_context):
+    """Serial FAT baseline on the MLP (smoke) workload: 8 chips, 1 epoch each."""
+    context = smoke_context
+    mask_sets, config = _mlp_fat_setup(context)
+
+    def run():
+        accuracies = []
+        for masks in mask_sets:
+            context.restore_pretrained()
+            trainer = Trainer(
+                context.model,
+                context.bundle.train,
+                context.bundle.test,
+                config=config,
+                masks=masks,
+            )
+            accuracies.append(trainer.train(1.0, include_initial=False).final_accuracy)
+        return accuracies
+
+    accuracies = benchmark(run)
+    context.restore_pretrained()
+    assert len(accuracies) == len(mask_sets)
+
+
+def test_bench_fat_retraining_batched_mlp_8chips(benchmark, smoke_context):
+    """Batched FAT on the MLP (smoke) workload: the same 8 chips in one loop.
+
+    The MLP's per-step arrays are tiny, so the serial loop is dominated by
+    per-chip Python/autograd overhead — exactly what the stacked trainer
+    amortizes; this is the upper end of the batched-FAT speedup range.
+    """
+    from repro.accelerator.batched import BatchedFaultTrainer
+
+    context = smoke_context
+    mask_sets, config = _mlp_fat_setup(context)
+
+    def run():
+        context.restore_pretrained()
+        trainer = BatchedFaultTrainer(
+            context.model,
+            mask_sets,
+            context.bundle.train,
+            context.bundle.test,
+            config=config,
+        )
+        return [h.final_accuracy for h in trainer.train(1.0, include_initial=False)]
+
+    accuracies = benchmark(run)
+    context.restore_pretrained()
+    assert len(accuracies) == len(mask_sets)
+
+
 def test_bench_resilience_profile_lookup(benchmark, fast_profile):
     """Step-2 lookups must be effectively free compared with retraining."""
     chip = Chip("bench", FaultMap.random(64, 64, 0.17, seed=5))

@@ -1,4 +1,4 @@
-"""Batched multi-chip evaluation: one forward sweep for B fault-masked chips.
+"""Batched multi-chip evaluation and retraining for B fault-masked chips.
 
 Evaluating a population of faulty chips is the dominant non-training cost of
 the Reduce flow: Step-2 triage, resilience-trial baselines and campaign
@@ -34,13 +34,21 @@ surrounding ops are per-sample elementwise, so logits match the serial
 shared-prefix GEMM may in principle differ to float32 rounding on BLAS
 builds whose kernel selection changes the reduction order with the output
 width; the equivalence tests pin this down exactly on the build in use).
+
+:class:`BatchedFaultTrainer` extends the same idea through the *backward*
+pass: fault-aware retraining (FAT) of B chips that share their training
+data, hyper-parameters and seed — the Step-3 inner loop of the Reduce
+campaign — runs as one folded training loop with stacked per-chip weights,
+per-chip optimizer state and stacked float32 keep-multiplier mask
+enforcement, bit-identical to B serial ``Trainer`` runs (see the class
+docstring and tests/test_batched_fat.py).
 """
 
 from __future__ import annotations
 
 import contextlib
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -49,9 +57,19 @@ from repro.accelerator.fault_map import FaultMap
 from repro.accelerator.mapping import model_fault_masks
 from repro.data.dataloader import DataLoader
 from repro.data.dataset import Dataset
-from repro.nn.functional import im2col
+from repro.nn import functional as F
+from repro.nn.functional import col2im_t, im2col, im2col_t
+from repro.nn.tensor import Function, is_grad_enabled
 
 MaskDict = Dict[str, np.ndarray]
+
+
+class UnsupportedModelError(RuntimeError):
+    """The model contains layers the batched fault-aware trainer cannot stack.
+
+    Raised at :class:`BatchedFaultTrainer` construction (never mid-training)
+    so callers can fall back to the serial per-chip trainer.
+    """
 
 # Stacked per-chip weights cost ``chips x model-size`` floats; population
 # helpers evaluate in chunks of this many chips to bound peak memory.
@@ -311,3 +329,722 @@ def evaluate_chip_accuracies(
         evaluator = BatchedFaultEvaluator(model, mask_sets[start:start + chip_chunk])
         accuracies.extend(evaluator.evaluate_accuracy(data, batch_size=batch_size))
     return accuracies
+
+
+# ---------------------------------------------------------------------------
+# Batched multi-chip fault-aware retraining (backward pass)
+# ---------------------------------------------------------------------------
+#
+# Retraining B chips on *shared* mini-batches is the training-time analogue of
+# the evaluator above: every chip sees the same input batch, so the first
+# stacked layer consumes one shared GEMM operand (one lowering) and everything
+# downstream is carried with a folded ``(B * batch, ...)`` leading axis and
+# stacked per-chip GEMMs.  Unlike evaluation, *every* parametric layer must be
+# stacked — per-chip gradients diverge all weights after the first optimizer
+# step — and the backward pass mirrors the serial autograd Functions
+# slice-for-slice:
+#
+# * each stacked ``np.matmul`` presents chip ``b``'s 2-D slice to BLAS with
+#   the same memory characteristics (contiguity / transposition) as the
+#   serial ``Linear``/``Conv2dFunction`` GEMM, so slices are bit-identical on
+#   a given BLAS build (pinned by tests/test_batched_fat.py);
+# * all surrounding ops (activations, pooling, flatten, loss log-softmax) are
+#   strictly per-sample and run unmodified on folded tensors;
+# * the loss is a per-chip mean, so one backward from the summed per-chip
+#   losses delivers exactly the gradient each serial run computes.
+
+
+class _StackedLinearFunction(Function):
+    """B per-chip affine transforms sharing one autograd node.
+
+    ``shared=True`` (the first stacked layer of a step): ``x`` is the shared
+    ``(n, K)`` batch and the forward runs one wide GEMM
+    ``(n, K) @ (K, B * N)`` — the per-chip weight columns concatenated — whose
+    per-chip slices equal the serial ``x @ W_b.T``.  The backward splits the
+    folded gradient per chip and computes the stacked weight gradients
+    ``grad_b.T @ x`` against the shared operand.
+
+    ``shared=False``: ``x`` is folded ``(B * n, K)`` and forward/backward are
+    stacked batched matmuls whose slices mirror the serial GEMMs exactly.
+    """
+
+    def forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,  # (B, N, K)
+        bias: Optional[np.ndarray],  # (B, N)
+        num_chips: int,
+        shared: bool,
+    ) -> np.ndarray:
+        self.save_for_backward(x, weight, bias is not None, num_chips, shared)
+        if shared:
+            chips, out_dim, k = weight.shape
+            wide = weight.transpose(2, 0, 1).reshape(k, chips * out_dim)  # copy
+            out = (x @ wide).reshape(x.shape[0], chips, out_dim).transpose(1, 0, 2)
+        else:
+            per_chip = x.shape[0] // num_chips
+            out = np.matmul(
+                x.reshape(num_chips, per_chip, x.shape[1]), weight.transpose(0, 2, 1)
+            )
+        if bias is not None:
+            out = out + bias[:, None, :]
+        else:
+            out = np.ascontiguousarray(out)
+        return out.reshape(out.shape[0] * out.shape[1], out.shape[2])
+
+    def backward(self, grad_output: np.ndarray):
+        x, weight, has_bias, num_chips, shared = self.saved
+        out_dim = weight.shape[1]
+        g = grad_output.reshape(num_chips, grad_output.shape[0] // num_chips, out_dim)
+        if shared:
+            x_op: np.ndarray = x  # (n, K), broadcast against all chips
+        else:
+            x_op = x.reshape(num_chips, x.shape[0] // num_chips, x.shape[1])
+        # Chip b's slice is the serial ``grad_output.T @ x`` (same transposed
+        # view against the same activation operand).
+        grad_w = np.matmul(g.transpose(0, 2, 1), x_op)
+        grad_x = None
+        if not self.needs_input_grad or self.needs_input_grad[0]:
+            grad_x_folded = np.matmul(g, weight)  # (B, n, K)
+            if shared:
+                # The shared operand feeds every chip's branch, so its
+                # gradient sums over chips (only reachable when the shared
+                # input itself requires grad — never the data batch).
+                grad_x = grad_x_folded.sum(axis=0)
+            else:
+                grad_x = grad_x_folded.reshape(x.shape)
+        if has_bias:
+            grad_b = g.sum(axis=1)
+            return grad_x, grad_w, grad_b
+        return grad_x, grad_w
+
+
+def _stacked_im2col_t(
+    x: np.ndarray,
+    num_chips: int,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+) -> Tuple[np.ndarray, int, int]:
+    """Lower folded ``(B * n, C, H, W)`` activations into a ``(B, K, P)`` stack.
+
+    Chip ``b``'s slice is exactly ``im2col_t(x[b * n:(b + 1) * n], ...)`` —
+    same gather, same element order — produced in one copy straight into the
+    stacked layout (no intermediate folded ``colsT`` + re-blocking pass).
+    """
+    from repro.nn.functional import _pad_nchw
+
+    kh, kw = kernel_size
+    sh, sw = stride
+    ph, pw = padding
+    total, c, h, w = x.shape
+    per_chip = total // num_chips
+    if ph or pw:
+        x = _pad_nchw(x, ph, pw)
+    padded_h, padded_w = h + 2 * ph, w + 2 * pw
+    if padded_h < kh or padded_w < kw:
+        raise ValueError(
+            f"kernel {kernel_size} larger than padded input ({padded_h}, {padded_w})"
+        )
+    out_h = (padded_h - kh) // sh + 1
+    out_w = (padded_w - kw) // sw + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    if sh != 1 or sw != 1:
+        windows = windows[:, :, ::sh, ::sw, :, :]
+    # (B*n, c, oh, ow, kh, kw) -> split the chip axis (still a view).
+    split = windows.reshape((num_chips, per_chip) + windows.shape[1:])
+    stack = np.empty(
+        (num_chips, c * kh * kw, per_chip * out_h * out_w), dtype=x.dtype
+    )
+    dest = stack.reshape(num_chips, c, kh, kw, per_chip, out_h, out_w)
+    np.copyto(dest, split.transpose(0, 2, 5, 6, 1, 3, 4))
+    return stack, out_h, out_w
+
+
+def _stacked_col2im_t(
+    cols_stack: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    num_chips: int,
+    kernel_size: Tuple[int, int],
+    stride: Tuple[int, int],
+    padding: Tuple[int, int],
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Scatter-add the inverse of :func:`_stacked_im2col_t` back to folded NCHW.
+
+    One phase sweep over the whole stack; chip ``b``'s slice receives exactly
+    the adds ``col2im_t(cols_stack[b], ...)`` performs, in the same order.
+    """
+    kh, kw = kernel_size
+    sh, sw = stride
+    ph, pw = padding
+    total, c, h, w = x_shape
+    per_chip = total // num_chips
+    padded_h, padded_w = h + 2 * ph, w + 2 * pw
+    dx = np.zeros((total, c, padded_h, padded_w), dtype=cols_stack.dtype)
+    dx_stack = dx.reshape(num_chips, per_chip, c, padded_h, padded_w)
+    colsK = cols_stack.reshape(num_chips, c, kh, kw, per_chip, out_h, out_w)
+    for i in range(kh):
+        for j in range(kw):
+            view = dx_stack[:, :, :, i:i + sh * out_h:sh, j:j + sw * out_w:sw]
+            view += colsK[:, :, i, j].transpose(0, 2, 1, 3, 4)
+    if ph or pw:
+        dx = dx[:, :, ph:ph + h, pw:pw + w]
+    return dx
+
+
+class _StackedConv2dFunction(Function):
+    """B per-chip 2-D convolutions sharing one im2col lowering per step.
+
+    The shared first layer lowers the input batch once (``im2col_t``) and
+    multiplies it against all B weight matrices in one wide ``(B * O, K) @
+    (K, P)`` GEMM; folded layers lower the folded activations straight into a
+    ``(B, K, P)`` stack and run stacked GEMMs.  Every GEMM presents chip
+    ``b``'s slice (or row block) to BLAS exactly like the serial
+    :class:`~repro.nn.functional.Conv2dFunction` does.
+    """
+
+    def forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,  # (B, O, C, kh, kw)
+        bias: Optional[np.ndarray],  # (B, O)
+        stride: Tuple[int, int],
+        padding: Tuple[int, int],
+        num_chips: int,
+        shared: bool,
+    ) -> np.ndarray:
+        chips, out_channels, in_channels, kh, kw = weight.shape
+        if x.shape[1] != in_channels:
+            raise ValueError(
+                f"input has {x.shape[1]} channels but weight expects {in_channels}"
+            )
+        w2 = weight.reshape(chips, out_channels, -1)
+        if shared:
+            per_chip = x.shape[0]
+            cols_op, out_h, out_w = im2col_t(x, (kh, kw), stride, padding)  # (K, P)
+            # Wide GEMM: all chips' weight rows in one (B * O, K) @ (K, P)
+            # call.  Per-chip row blocks are bit-identical to the serial
+            # (O, K) @ (K, P) GEMM on this BLAS build (pinned by tests), and
+            # one M-wide call is far faster than B narrow ones.
+            out_t = (w2.reshape(chips * out_channels, -1) @ cols_op).reshape(
+                chips, out_channels, -1
+            )
+        else:
+            per_chip = x.shape[0] // num_chips
+            cols_op, out_h, out_w = _stacked_im2col_t(
+                x, num_chips, (kh, kw), stride, padding
+            )
+            out_t = np.matmul(w2, cols_op)  # (B, O, P)
+        if bias is not None:
+            out_t += bias[:, :, None]
+        out = out_t.reshape(chips, out_channels, per_chip, out_h, out_w).transpose(
+            0, 2, 1, 3, 4
+        )
+        if is_grad_enabled():
+            self.save_for_backward(
+                cols_op, weight, x.shape, (kh, kw), stride, padding,
+                out_h, out_w, bias is not None, num_chips, shared,
+            )
+        out = np.ascontiguousarray(out)
+        return out.reshape(chips * per_chip, out_channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray):
+        (cols_op, weight, x_shape, kernel, stride, padding,
+         out_h, out_w, has_bias, num_chips, shared) = self.saved
+        chips, out_channels = weight.shape[:2]
+        per_chip = grad_output.shape[0] // num_chips
+        w2 = weight.reshape(chips, out_channels, -1)
+        # (B*n, O, oh, ow) -> (B, O, n*oh*ow): chip b's block is the serial
+        # channel-major gather of its own gradient.
+        g_t = np.ascontiguousarray(
+            grad_output.reshape(num_chips, per_chip, out_channels, out_h, out_w)
+            .transpose(0, 2, 1, 3, 4)
+        ).reshape(num_chips, out_channels, -1)
+        if shared:
+            # Wide GEMM against the shared columns: one (B * O, P) @ (P, K)
+            # call whose per-chip row blocks equal the serial NT GEMM.
+            grad_w = (
+                g_t.reshape(num_chips * out_channels, -1) @ cols_op.T
+            ).reshape(num_chips, out_channels, -1)
+        else:
+            grad_w = np.matmul(g_t, cols_op.transpose(0, 2, 1))
+        grad_w = grad_w.reshape(weight.shape)
+        grad_x = None
+        if not self.needs_input_grad or self.needs_input_grad[0]:
+            grad_colsT = np.matmul(w2.transpose(0, 2, 1), g_t)  # (B, K, P)
+            if shared:
+                grad_x = np.zeros(x_shape, dtype=grad_output.dtype)
+                for chip in range(num_chips):
+                    grad_x += col2im_t(
+                        grad_colsT[chip], x_shape, kernel, stride, padding, out_h, out_w
+                    )
+            else:
+                grad_x = _stacked_col2im_t(
+                    grad_colsT, x_shape, num_chips, kernel, stride, padding,
+                    out_h, out_w,
+                )
+        if has_bias:
+            grad_bias = g_t.sum(axis=2)
+            return grad_x, grad_w, grad_bias
+        return grad_x, grad_w
+
+
+class _StackedNllLossFunction(Function):
+    """Per-chip mean NLL of folded log-probabilities: returns ``(B,)`` losses.
+
+    Chip ``b``'s value and gradient replicate the serial
+    ``F.cross_entropy(..., reduction="mean")`` arithmetic operation-for-
+    operation (including the optional label-smoothing composition), so one
+    backward from the summed losses is bit-identical to B serial backwards.
+    """
+
+    def forward(
+        self,
+        log_probs: np.ndarray,
+        targets: np.ndarray,
+        num_chips: int,
+        label_smoothing: float,
+    ) -> np.ndarray:
+        if log_probs.ndim != 2:
+            raise ValueError(
+                f"stacked loss expects (B * n, C) log-probabilities, got {log_probs.shape}"
+            )
+        total_rows = log_probs.shape[0]
+        if total_rows % num_chips:
+            raise ValueError(
+                f"{total_rows} rows do not fold into {num_chips} chips"
+            )
+        per_chip = total_rows // num_chips
+        targets = np.asarray(targets).astype(np.int64).reshape(-1)
+        if targets.shape[0] != per_chip:
+            raise ValueError(
+                f"targets length {targets.shape[0]} does not match per-chip batch {per_chip}"
+            )
+        tiled = np.tile(targets, num_chips)
+        picked = log_probs[np.arange(total_rows), tiled].reshape(num_chips, per_chip)
+        # Serial: -picked.mean() per chip; mean over each contiguous row uses
+        # the same pairwise reduction as the standalone serial vector.
+        hard = -picked.mean(axis=1)
+        self.save_for_backward(
+            log_probs.shape, tiled, per_chip, label_smoothing, log_probs.dtype, num_chips
+        )
+        if label_smoothing <= 0.0:
+            return hard.astype(log_probs.dtype, copy=False)
+        if not 0.0 <= label_smoothing < 1.0:
+            # Same validation (and message) as the serial ``cross_entropy``.
+            raise ValueError(f"label_smoothing must be in [0, 1), got {label_smoothing}")
+        # Mirror the serial composition
+        #   hard * (1 - ls) + (-(sum(axis=-1).mean()) * (1 / C)) * ls
+        # with the same float32 scalar coercions in the same order.
+        num_classes = log_probs.shape[-1]
+        w_hard = np.asarray(1.0 - label_smoothing, dtype=log_probs.dtype)
+        w_smooth = np.asarray(label_smoothing, dtype=log_probs.dtype)
+        inv_c = np.asarray(1.0 / num_classes, dtype=log_probs.dtype)
+        smooth = -log_probs.sum(axis=-1).reshape(num_chips, per_chip).mean(axis=1)
+        return hard * w_hard + (smooth * inv_c) * w_smooth
+
+    def backward(self, grad_output: np.ndarray):
+        shape, tiled, per_chip, label_smoothing, dtype, num_chips = self.saved
+        grad = np.zeros(shape, dtype=dtype)
+        # Same double-literal division and float32 assignment as the serial
+        # NllLossFunction ("mean" reduction over the per-chip batch).
+        grad[np.arange(shape[0]), tiled] = -1.0 / per_chip
+        g3 = grad.reshape(num_chips, per_chip, shape[1])
+        upstream = np.asarray(grad_output, dtype=dtype).reshape(num_chips)
+        if label_smoothing <= 0.0:
+            g3 *= upstream[:, None, None]
+            return (grad,)
+        num_classes = shape[1]
+        w_hard = np.asarray(1.0 - label_smoothing, dtype=dtype)
+        w_smooth = np.asarray(label_smoothing, dtype=dtype)
+        inv_c = np.asarray(1.0 / num_classes, dtype=dtype)
+        # Hard branch: upstream * (1 - ls) scales the -1/n entries.
+        g3 *= (upstream * w_hard)[:, None, None]
+        # Smooth branch, replayed through the serial op chain
+        # Mul(ls) -> Mul(1/C) -> Neg -> Mean(/n) -> broadcast over (n, C).
+        smooth_grad = -((upstream * w_smooth) * inv_c) / per_chip
+        g3 += smooth_grad[:, None, None]
+        return (grad,)
+
+
+def stacked_cross_entropy(
+    logits: nn.Tensor,
+    targets: np.ndarray,
+    num_chips: int,
+    label_smoothing: float = 0.0,
+) -> nn.Tensor:
+    """Per-chip cross-entropy of folded ``(B * n, C)`` logits: a ``(B,)`` tensor."""
+    log_probs = logits.log_softmax(axis=-1)
+    return _StackedNllLossFunction.apply(
+        log_probs, np.asarray(targets), num_chips, float(label_smoothing)
+    )
+
+
+@dataclasses.dataclass
+class _StackedLayer:
+    """One parametric layer with its B stacked per-chip weights (and masks)."""
+
+    name: str
+    module: nn.Module
+    weight: "nn.Parameter"  # (B,) + weight shape
+    bias: Optional["nn.Parameter"]  # (B, out) or None
+    keep: Optional[np.ndarray]  # (B,) + weight shape float32; masked layers only
+
+    def enforce_weight(self) -> None:
+        if self.keep is not None:
+            np.multiply(self.weight.data, self.keep, out=self.weight.data)
+
+    def enforce_grad(self) -> None:
+        if self.keep is not None and self.weight.grad is not None:
+            np.multiply(self.weight.grad, self.keep, out=self.weight.grad)
+
+
+class BatchedFaultTrainer:
+    """Fault-aware retraining of B chips in one batched training loop.
+
+    Mirrors :class:`repro.training.Trainer` for B chips that share the same
+    starting weights (the model's current state), training data, hyper-
+    parameters, seed and epoch budget but differ in their fault masks: every
+    optimizer step runs one folded forward/backward in which each GEMM is
+    stacked over chips, followed by per-chip optimizer updates on the stacked
+    parameters (the optimizer's elementwise update math over a ``(B, ...)``
+    stack *is* B independent per-chip updates; gradient clipping is the only
+    cross-element op and uses :func:`repro.nn.optim.clip_grad_norm_per_chip`).
+
+    Exact serial equivalence: given the same :class:`TrainingConfig`, chip
+    ``b``'s weights, losses and accuracies are bit-identical to a serial
+    ``Trainer(model, ..., masks=mask_sets[b])`` run on this BLAS build
+    (tests/test_batched_fat.py pins this).  The model itself is never
+    modified: stacked copies are trained, and per-chip results are read back
+    with :meth:`chip_state_dict`.
+
+    Supported models are compositions of ``Linear``/``Conv2d`` (stacked),
+    parameter-free per-sample layers (activations, pooling, flatten) and
+    ``Dropout`` (shared noise, drawn from the same trainer-seeded stream as
+    the serial runs).  Training-mode ``BatchNorm`` mixes samples across the
+    chip fold and is rejected with :class:`UnsupportedModelError` so callers
+    can fall back to the serial path.
+    """
+
+    def __init__(
+        self,
+        model: nn.Module,
+        mask_sets: Sequence[MaskDict],
+        train_data: Union[Dataset, DataLoader],
+        eval_data: Union[Dataset, DataLoader],
+        config=None,
+    ) -> None:
+        from repro.training import (
+            TrainingConfig,
+            _as_loader,
+            require_nonempty_train_loader,
+            seed_stochastic_layers,
+        )
+        from repro.utils.rng import derive_seed
+
+        if not mask_sets:
+            raise ValueError("mask_sets must contain at least one chip")
+        key_set = set(mask_sets[0])
+        for index, masks in enumerate(mask_sets[1:], start=1):
+            if set(masks) != key_set:
+                raise ValueError(
+                    f"mask set {index} has layer keys {sorted(masks)} != {sorted(key_set)}"
+                )
+        self.model = model
+        self.config = config if config is not None else TrainingConfig()
+        self.num_chips = len(mask_sets)
+        self.train_loader = _as_loader(
+            train_data,
+            batch_size=self.config.batch_size,
+            shuffle=self.config.shuffle,
+            seed=derive_seed(self.config.seed, "train-loader"),
+        )
+        require_nonempty_train_loader(self.train_loader)
+        self.eval_data = eval_data
+        self.batches_per_epoch = len(self.train_loader)
+        self.steps_taken = 0
+        # True while the current forward pass is still on the shared
+        # (un-replicated) input; flipped by the first stacked layer.
+        self._shared_prefix = True
+
+        self._layers: List[_StackedLayer] = []
+        self._dropouts: List[nn.Module] = []
+        parameters: List[nn.Parameter] = []
+        for name, module in model.named_modules():
+            if isinstance(module, nn.Dropout):
+                self._dropouts.append(module)
+                continue
+            direct = [p for p in module._parameters.values() if p is not None]
+            if not direct:
+                continue
+            if not isinstance(module, (nn.Linear, nn.Conv2d)):
+                raise UnsupportedModelError(
+                    f"layer {name!r} ({type(module).__name__}) has trainable "
+                    "parameters but is not a stackable Linear/Conv2d; "
+                    "batched fault-aware retraining cannot fold it per chip"
+                )
+            weight = module.weight.data
+            stack = np.empty((self.num_chips,) + weight.shape, dtype=weight.dtype)
+            keep: Optional[np.ndarray] = None
+            if name in key_set:
+                keep = np.empty((self.num_chips,) + weight.shape, dtype=np.float32)
+            for chip, masks in enumerate(mask_sets):
+                if name in masks:
+                    mask = masks[name]
+                    if mask.shape != weight.shape:
+                        raise ValueError(
+                            f"mask shape {mask.shape} does not match weight shape "
+                            f"{weight.shape} for layer {name!r}"
+                        )
+                    # np.where keeps masked entries exact +0.0, bit-identical
+                    # to the serial ``weight.data[mask] = 0.0`` enforcement.
+                    stack[chip] = np.where(mask, weight.dtype.type(0), weight)
+                    keep[chip] = np.where(mask, np.float32(0.0), np.float32(1.0))
+                else:
+                    stack[chip] = weight
+            weight_param = nn.Parameter(stack)
+            bias_param: Optional[nn.Parameter] = None
+            if module.bias is not None:
+                bias_param = nn.Parameter(
+                    np.repeat(module.bias.data[None], self.num_chips, axis=0)
+                )
+            self._layers.append(
+                _StackedLayer(
+                    name=name, module=module, weight=weight_param,
+                    bias=bias_param, keep=keep,
+                )
+            )
+            # Same order as ``model.parameters()`` (weight before bias per
+            # module) so per-chip gradient clipping accumulates norms in the
+            # serial order.
+            parameters.append(weight_param)
+            if bias_param is not None:
+                parameters.append(bias_param)
+        known = {layer.name for layer in self._layers}
+        for name in key_set:
+            if name not in known:
+                raise KeyError(f"mask refers to unknown layer {name!r}")
+        self._masked_layers = [layer for layer in self._layers if layer.keep is not None]
+        self.optimizer = self.config.build_optimizer(parameters)
+        # Dropout draws from trainer-seeded per-layer generators, exactly as
+        # each serial Trainer with this config would reseed them.
+        seed_stochastic_layers(self.model, self.config.seed)
+        # Base state for chip_state_dict (stacked slices override trainables).
+        self._base_state = model.state_dict()
+
+    # -- batched forward plumbing --------------------------------------------
+
+    @property
+    def epochs_taken(self) -> float:
+        return self.steps_taken / self.batches_per_epoch
+
+    def _linear_forward(self, layer: _StackedLayer):
+        def forward(x: nn.Tensor) -> nn.Tensor:
+            if x.ndim != 2:
+                x = x.flatten(start_dim=1)
+            shared = self._shared_prefix
+            self._shared_prefix = False
+            return _StackedLinearFunction.apply(
+                x, layer.weight, layer.bias, self.num_chips, shared
+            )
+
+        return forward
+
+    def _conv_forward(self, layer: _StackedLayer):
+        def forward(x: nn.Tensor) -> nn.Tensor:
+            module = layer.module
+            shared = self._shared_prefix
+            self._shared_prefix = False
+            return _StackedConv2dFunction.apply(
+                x, layer.weight, layer.bias,
+                module.stride, module.padding, self.num_chips, shared,
+            )
+
+        return forward
+
+    def _dropout_forward(self, module: nn.Module):
+        def forward(x: nn.Tensor) -> nn.Tensor:
+            if not module.training or module.p == 0.0:
+                return x
+            if self._shared_prefix:
+                # Shared input: one draw, exactly the serial call.
+                return F.dropout(x, module.p, training=True, rng=module._rng)
+            # Folded activations: draw the per-sample mask once (the same
+            # stream position as each serial run) and tile it over chips.
+            per_chip = x.shape[0] // self.num_chips
+            shape = (per_chip,) + x.shape[1:]
+            mask = (module._rng.random(shape) >= module.p).astype(x.dtype) / (1.0 - module.p)
+            tiled = np.tile(mask, (self.num_chips,) + (1,) * (x.ndim - 1))
+            return x * tiled
+
+        return forward
+
+    @contextlib.contextmanager
+    def _patched(self):
+        """Route stacked layers (and dropout) through their batched forwards."""
+        patched: List[nn.Module] = []
+        try:
+            for layer in self._layers:
+                if "forward" in layer.module.__dict__:
+                    raise RuntimeError(
+                        f"layer {layer.name!r} already has a patched forward "
+                        "(nested batched execution is not supported)"
+                    )
+                make = (
+                    self._linear_forward
+                    if isinstance(layer.module, nn.Linear)
+                    else self._conv_forward
+                )
+                object.__setattr__(layer.module, "forward", make(layer))
+                patched.append(layer.module)
+            for module in self._dropouts:
+                if "forward" in module.__dict__:
+                    raise RuntimeError("dropout layer already has a patched forward")
+                object.__setattr__(module, "forward", self._dropout_forward(module))
+                patched.append(module)
+            yield
+        finally:
+            for module in reversed(patched):
+                object.__delattr__(module, "forward")
+
+    # -- training ------------------------------------------------------------
+
+    def _train_steps(self, num_steps: int) -> np.ndarray:
+        """Run ``num_steps`` batched steps; returns per-chip mean train loss."""
+        if num_steps <= 0:
+            return np.full(self.num_chips, np.nan)
+        self.model.train()
+        losses: List[np.ndarray] = []
+        remaining = num_steps
+        with self._patched():
+            while remaining > 0:
+                for inputs, targets in self.train_loader:
+                    self._shared_prefix = True
+                    logits = self.model(inputs)
+                    step_losses = stacked_cross_entropy(
+                        logits, targets, self.num_chips,
+                        label_smoothing=self.config.label_smoothing,
+                    )
+                    self.optimizer.zero_grad()
+                    step_losses.sum().backward()
+                    for layer in self._masked_layers:
+                        layer.enforce_grad()
+                    if self.config.grad_clip is not None:
+                        nn.clip_grad_norm_per_chip(
+                            self.optimizer.parameters,
+                            self.config.grad_clip,
+                            self.num_chips,
+                        )
+                    self.optimizer.step()
+                    for layer in self._masked_layers:
+                        layer.enforce_weight()
+                    losses.append(step_losses.data.astype(np.float64))
+                    self.steps_taken += 1
+                    remaining -= 1
+                    if remaining == 0:
+                        break
+        if not losses:
+            return np.full(self.num_chips, np.nan)
+        stacked = np.asarray(losses)  # (steps, B)
+        # Serial records python floats and takes np.mean over the step list;
+        # reduce each chip's contiguous step vector the same way.
+        return np.array(
+            [np.mean(np.ascontiguousarray(stacked[:, chip])) for chip in range(self.num_chips)]
+        )
+
+    def evaluate(self) -> List[float]:
+        """Per-chip top-1 accuracy on the eval data (mirrors ``Trainer.evaluate``)."""
+        from repro.training import _as_eval_loader as _training_eval_loader
+
+        loader = _training_eval_loader(self.eval_data, batch_size=self.config.batch_size * 4)
+        was_training = self.model.training
+        self.model.eval()
+        correct = np.zeros(self.num_chips, dtype=np.int64)
+        total = 0
+        try:
+            with nn.no_grad(), self._patched():
+                for inputs, targets in loader:
+                    self._shared_prefix = True
+                    n = inputs.data.shape[0]
+                    logits = self.model(inputs).data
+                    if self._shared_prefix:
+                        # No stacked layer executed: all chips share logits.
+                        logits = np.broadcast_to(logits[None], (self.num_chips,) + logits.shape)
+                    else:
+                        logits = logits.reshape(self.num_chips, n, -1)
+                    predictions = logits.argmax(axis=-1)
+                    correct += (predictions == np.asarray(targets)[None, :]).sum(axis=1)
+                    total += n
+        finally:
+            if was_training:
+                self.model.train()
+        if total == 0:
+            return [0.0] * self.num_chips
+        return [int(c) / total for c in correct]
+
+    def train(
+        self,
+        epochs: float,
+        eval_checkpoints: Optional[Sequence[float]] = None,
+        include_initial: bool = True,
+    ):
+        """Train all chips for ``epochs``; returns one history per chip.
+
+        Checkpoint semantics match :meth:`repro.training.Trainer.train`: the
+        same cumulative epoch checkpoints, the same step accounting, and per-
+        chip records whose accuracies and losses equal the serial runs'.
+        """
+        from repro.training import CheckpointRecord, TrainingHistory, epochs_to_steps
+
+        if epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        histories = [TrainingHistory() for _ in range(self.num_chips)]
+        if include_initial:
+            for history, accuracy in zip(histories, self.evaluate()):
+                history.add(
+                    CheckpointRecord(
+                        epochs=0.0,
+                        steps=self.steps_taken,
+                        train_loss=float("nan"),
+                        eval_accuracy=accuracy,
+                    )
+                )
+        checkpoints = sorted(set(float(c) for c in (eval_checkpoints or []) if 0.0 < c <= epochs))
+        if epochs > 0 and (not checkpoints or abs(checkpoints[-1] - epochs) > 1e-12):
+            checkpoints.append(float(epochs))
+        previous_steps = 0
+        for checkpoint in checkpoints:
+            target_steps = epochs_to_steps(checkpoint, self.batches_per_epoch)
+            step_delta = target_steps - previous_steps
+            if step_delta > 0:
+                train_losses = self._train_steps(step_delta)
+            else:
+                train_losses = np.full(self.num_chips, np.nan)
+            previous_steps = target_steps
+            accuracies = self.evaluate()
+            for chip, history in enumerate(histories):
+                history.add(
+                    CheckpointRecord(
+                        epochs=checkpoint,
+                        steps=self.steps_taken,
+                        train_loss=float(train_losses[chip]),
+                        eval_accuracy=accuracies[chip],
+                    )
+                )
+        return histories
+
+    # -- results -------------------------------------------------------------
+
+    def chip_state_dict(self, chip: int) -> Dict[str, np.ndarray]:
+        """The model state dict chip ``chip``'s serial run would end with."""
+        if not 0 <= chip < self.num_chips:
+            raise IndexError(f"chip {chip} out of range for {self.num_chips} chips")
+        state = {name: value.copy() for name, value in self._base_state.items()}
+        for layer in self._layers:
+            prefix = f"{layer.name}." if layer.name else ""
+            state[f"{prefix}weight"] = layer.weight.data[chip].copy()
+            if layer.bias is not None:
+                state[f"{prefix}bias"] = layer.bias.data[chip].copy()
+        return state

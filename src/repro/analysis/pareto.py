@@ -87,11 +87,8 @@ def hypervolume_2d(
         if keep and c <= reference_cost and q >= reference_quality
     )
     area = 0.0
-    previous_cost = None
     best_quality = reference_quality
     for cost, quality in front:
-        if previous_cost is None:
-            previous_cost = cost
         area += (reference_cost - cost) * max(0.0, quality - best_quality)
         best_quality = max(best_quality, quality)
     return area

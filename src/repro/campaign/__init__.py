@@ -8,7 +8,13 @@ interrupted campaigns.
 """
 
 from repro.campaign.engine import CampaignEngine, CampaignReport, run_campaign
-from repro.campaign.jobs import ChipJob, build_jobs, execute_job
+from repro.campaign.jobs import (
+    ChipJob,
+    build_jobs,
+    execute_job,
+    execute_jobs_batched,
+    group_jobs_by_epochs,
+)
 from repro.campaign.store import (
     CampaignStore,
     CampaignStoreError,
@@ -22,6 +28,8 @@ __all__ = [
     "ChipJob",
     "build_jobs",
     "execute_job",
+    "execute_jobs_batched",
+    "group_jobs_by_epochs",
     "CampaignStore",
     "CampaignStoreError",
     "campaign_fingerprint",

@@ -9,10 +9,14 @@ directory the engine persists every finished chip to a content-addressed
 JSONL store and skips already-completed chips on restart, so a killed
 campaign resumes where it left off.
 
-Determinism: per-chip retraining seeds depend only on the chip id (see
-``ReduceFramework.retrain_chip``), every execution restores the same
+Determinism: the retraining seed is a pure function of the campaign
+configuration and is shared by every chip (see
+``ReduceFramework._fat_training_config``), every execution restores the same
 pre-trained weights first, and results are re-ordered to population order —
-so serial, parallel and resumed runs produce bit-identical results.
+so serial, parallel and resumed runs produce bit-identical results.  The
+shared seed also lets the inline (``jobs == 1``) path coalesce same-budget
+chips into stacked batched-FAT runs (``fat_batch``) whose results are
+bit-identical to per-chip execution on this BLAS build.
 """
 
 from __future__ import annotations
@@ -23,7 +27,13 @@ import sys
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.campaign.jobs import ChipJob, build_jobs, execute_job
+from repro.campaign.jobs import (
+    ChipJob,
+    build_jobs,
+    execute_job,
+    execute_jobs_batched,
+    group_jobs_by_epochs,
+)
 from repro.campaign.store import CampaignStore, campaign_fingerprint
 from repro.core.chips import ChipPopulation
 from repro.core.reduce import CampaignResult, ChipRetrainingResult, ReduceFramework
@@ -122,7 +132,14 @@ class CampaignEngine:
     disk_cache_dir:
         Forwarded to workers so spawned processes can load the pre-trained
         state from the on-disk context cache instead of re-pre-training.
+    fat_batch:
+        Maximum number of same-budget chips retrained together in one
+        stacked batched-FAT run on the inline (``jobs == 1``) path; ``1``
+        disables coalescing.  Results are bit-identical either way; the
+        stacked runs just share every GEMM across the batch.
     """
+
+    DEFAULT_FAT_BATCH = 8
 
     def __init__(
         self,
@@ -133,11 +150,14 @@ class CampaignEngine:
         progress: bool = False,
         chunk_size: Optional[int] = None,
         disk_cache_dir: Optional[PathLike] = None,
+        fat_batch: Optional[int] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if fat_batch is not None and fat_batch < 1:
+            raise ValueError(f"fat_batch must be >= 1, got {fat_batch}")
         self.context = context
         self.jobs = int(jobs)
         self.store_base = Path(store_base) if store_base is not None else None
@@ -145,6 +165,7 @@ class CampaignEngine:
         self.progress = progress
         self.chunk_size = chunk_size
         self.disk_cache_dir = str(disk_cache_dir) if disk_cache_dir is not None else None
+        self.fat_batch = int(fat_batch) if fat_batch is not None else self.DEFAULT_FAT_BATCH
         self.last_report: Optional[CampaignReport] = None
 
     # -- public API ---------------------------------------------------------------
@@ -238,8 +259,7 @@ class CampaignEngine:
             if self.jobs > 1 and len(pending) > 1:
                 self._execute_parallel(pending, record)
             else:
-                for job in pending:
-                    record(execute_job(framework, job))
+                self._execute_inline(framework, pending, record)
         elapsed = timer.stop()
 
         self.last_report = CampaignReport(
@@ -271,6 +291,50 @@ class CampaignEngine:
     def run_fixed(self, population: ChipPopulation, epochs: float) -> CampaignResult:
         """The fixed-budget baseline through the engine."""
         return self.run(population, FixedEpochPolicy(epochs))
+
+    # -- inline dispatch (batched FAT) ---------------------------------------------
+
+    def _execute_inline(
+        self,
+        framework,
+        pending: Sequence[ChipJob],
+        record: Callable[[ChipRetrainingResult], None],
+    ) -> None:
+        """Execute jobs in-process, coalescing same-budget groups (Step 3).
+
+        Groups of at least two jobs with the same positive epoch budget run
+        through the stacked batched-FAT trainer in chunks of ``fat_batch``;
+        everything else (zero-epoch lookups, singleton budgets, or
+        ``fat_batch == 1``) takes the per-job path.  Either way the recorded
+        results are identical; only the store's line order can differ, which
+        resume reads back order-independently.  Results are recorded (and
+        persisted) after every ``fat_batch`` chunk, so a killed campaign
+        loses at most the chunk in flight rather than a whole budget group.
+        """
+        if self.fat_batch > 1:
+            batched = 0
+            for epochs, group in group_jobs_by_epochs(pending).items():
+                if epochs > 0 and len(group) > 1:
+                    for start in range(0, len(group), self.fat_batch):
+                        chunk = group[start:start + self.fat_batch]
+                        for result in execute_jobs_batched(
+                            framework, chunk, fat_batch=self.fat_batch
+                        ):
+                            record(result)
+                    batched += len(group)
+                else:
+                    for job in group:
+                        record(execute_job(framework, job))
+            if batched:
+                logger.info(
+                    "campaign: %d/%d chips retrained in stacked batches (fat_batch=%d)",
+                    batched,
+                    len(pending),
+                    self.fat_batch,
+                )
+        else:
+            for job in pending:
+                record(execute_job(framework, job))
 
     # -- parallel dispatch ----------------------------------------------------------
 
@@ -310,9 +374,15 @@ def run_campaign(
     store_base: Optional[PathLike] = None,
     resume: bool = True,
     progress: bool = False,
+    fat_batch: Optional[int] = None,
 ) -> CampaignResult:
     """One-call convenience wrapper around :class:`CampaignEngine`."""
     engine = CampaignEngine(
-        context, jobs=jobs, store_base=store_base, resume=resume, progress=progress
+        context,
+        jobs=jobs,
+        store_base=store_base,
+        resume=resume,
+        progress=progress,
+        fat_batch=fat_batch,
     )
     return engine.run(population, policy)

@@ -12,15 +12,19 @@ beyond the (shared, pre-trained) framework as plain JSON-compatible data:
 
 Jobs are therefore picklable, hashable enough to fingerprint, and executing
 one is a pure function of ``(framework pre-trained state, job)``: the
-retraining seed is derived from the chip id via ``derive_seed`` inside
-:meth:`ReduceFramework.retrain_chip`, so the result does not depend on which
-process runs the job or in what order jobs complete.
+retraining seed is a deterministic function of the campaign configuration
+(shared by every chip — see :meth:`ReduceFramework._fat_training_config`),
+so the result does not depend on which process runs the job or in what order
+jobs complete.  Because the seed (and therefore the mini-batch and dropout
+streams) is shared, jobs with the same epoch budget can also be *coalesced*:
+:func:`execute_jobs_batched` retrains a whole group through one stacked
+multi-chip trainer and returns exactly what per-job execution would.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.chips import Chip, ChipPopulation
 from repro.core.reduce import ChipRetrainingResult, ReduceFramework
@@ -100,4 +104,54 @@ def execute_job(framework: ReduceFramework, job: ChipJob) -> ChipRetrainingResul
         job.epochs,
         target_accuracy=job.target_accuracy,
         accuracy_before=job.accuracy_before,
+    )
+
+
+def group_jobs_by_epochs(jobs: Sequence[ChipJob]) -> Dict[float, List[ChipJob]]:
+    """Group jobs by their retraining budget (insertion-ordered).
+
+    Groups whose budget is positive and which hold more than one job are the
+    candidates for batched multi-chip execution; zero-epoch jobs are pure
+    triage lookups and stay on the per-job path.
+    """
+    groups: Dict[float, List[ChipJob]] = {}
+    for job in jobs:
+        groups.setdefault(float(job.epochs), []).append(job)
+    return groups
+
+
+def execute_jobs_batched(
+    framework: ReduceFramework,
+    jobs: Sequence[ChipJob],
+    fat_batch: int = 8,
+) -> List[ChipRetrainingResult]:
+    """Execute a same-budget group of jobs through the stacked batched trainer.
+
+    Returns results in job order, bit-identical (on this BLAS build) to
+    ``[execute_job(framework, job) for job in jobs]``.  All jobs must share
+    the same ``epochs`` and ``target_accuracy``.
+    """
+    job_list = list(jobs)
+    if not job_list:
+        return []
+    epochs = job_list[0].epochs
+    target = job_list[0].target_accuracy
+    for job in job_list[1:]:
+        if job.epochs != epochs or job.target_accuracy != target:
+            raise ValueError(
+                "batched execution requires jobs with identical epochs and target "
+                f"(got epochs {job.epochs} vs {epochs}, target "
+                f"{job.target_accuracy} vs {target})"
+            )
+    accuracies_before = {
+        job.chip_id: job.accuracy_before
+        for job in job_list
+        if job.accuracy_before is not None
+    }
+    return framework.retrain_chips_batched(
+        [job.to_chip() for job in job_list],
+        epochs,
+        target_accuracy=target,
+        accuracies_before=accuracies_before,
+        fat_batch=fat_batch,
     )

@@ -31,7 +31,11 @@ logger = get_logger("campaign.store")
 
 PathLike = Union[str, Path]
 
-STORE_FORMAT_VERSION = 1
+# Version 2: the Step-3 retraining seed became a population-shared FAT seed
+# (previously derived per chip id), changing every recorded accuracy; bumping
+# the version changes all fingerprints so pre-existing stores are never
+# resumed against results computed under the old seed scheme.
+STORE_FORMAT_VERSION = 2
 
 
 class CampaignStoreError(RuntimeError):

@@ -92,6 +92,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ignore previously recorded chip results in the campaign store",
     )
     parser.add_argument(
+        "--fat-batch",
+        type=int,
+        default=None,
+        help="max chips per stacked batched-FAT run on the inline --jobs 1 path "
+        "(default: 8; 1 disables coalescing; results are identical either way)",
+    )
+    parser.add_argument(
         "--cache-dir",
         type=Path,
         default=None,
@@ -129,6 +136,7 @@ def _run_command(command: str, context: ExperimentContext, args: argparse.Namesp
             campaign_dir=args.campaign_dir,
             resume=not args.no_resume,
             disk_cache_dir=args.cache_dir,
+            fat_batch=args.fat_batch,
         )
         print(result.summary_table())
         print()
@@ -150,6 +158,7 @@ def _run_campaign(context: ExperimentContext, args: argparse.Namespace) -> Dict[
         resume=not args.no_resume,
         progress=True,
         disk_cache_dir=args.cache_dir,
+        fat_batch=args.fat_batch,
     )
     if args.policy == "fixed":
         result = engine.run_fixed(population, args.fixed_epochs)
@@ -185,6 +194,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     set_verbosity(args.verbose)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.fat_batch is not None and args.fat_batch < 1:
+        parser.error("--fat-batch must be >= 1")
     if args.fixed_epochs < 0:
         parser.error("--fixed-epochs must be non-negative")
 

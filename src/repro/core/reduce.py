@@ -21,7 +21,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro import nn
-from repro.accelerator.batched import evaluate_chip_accuracies
+from repro.accelerator.batched import (
+    BatchedFaultTrainer,
+    UnsupportedModelError,
+    evaluate_chip_accuracies,
+)
 from repro.accelerator.systolic_array import SystolicArray
 from repro.core.chips import Chip, ChipPopulation
 from repro.core.constraints import AccuracyConstraint
@@ -36,6 +40,10 @@ from repro.utils.logging import get_logger
 from repro.utils.rng import derive_seed
 
 logger = get_logger("core.reduce")
+
+# Chips whose Step-2 budgets agree are retrained together in stacked batches
+# of at most this many chips (bounds the stacked-weight memory footprint).
+DEFAULT_FAT_BATCH = 8
 
 
 @dataclasses.dataclass(frozen=True)
@@ -165,6 +173,30 @@ class CampaignResult:
             "summary": self.summary(),
             "chips": [dataclasses.asdict(result) for result in self.results],
         }
+
+
+def _build_chip_result(
+    chip: Chip,
+    masks: Dict[str, np.ndarray],
+    epochs_allocated: float,
+    epochs_trained: float,
+    accuracy_before: float,
+    accuracy_after: float,
+    target: float,
+) -> ChipRetrainingResult:
+    """Assemble one chip's result row (shared by the serial and batched paths)."""
+    masked = sum(int(mask.sum()) for mask in masks.values())
+    total = sum(mask.size for mask in masks.values())
+    return ChipRetrainingResult(
+        chip_id=chip.chip_id,
+        fault_rate=chip.fault_rate,
+        epochs_allocated=float(epochs_allocated),
+        epochs_trained=float(epochs_trained),
+        accuracy_before=accuracy_before,
+        accuracy_after=accuracy_after,
+        meets_constraint=accuracy_after >= target - 1e-12,
+        masked_weight_fraction=masked / total if total else 0.0,
+    )
 
 
 @dataclasses.dataclass
@@ -310,6 +342,20 @@ class ReduceFramework:
 
     # -- Step 3: per-chip fault-aware retraining ---------------------------------------
 
+    def _fat_training_config(self) -> TrainingConfig:
+        """Training config for Step-3 retraining, with the FAT seed resolved.
+
+        The seed is shared across the whole population (not derived per chip):
+        chips differ in their fault masks, not in their data — and a shared
+        mini-batch/dropout stream is what lets same-budget chips coalesce into
+        one :class:`BatchedFaultTrainer` run that is bit-identical to the
+        serial per-chip path.
+        """
+        return dataclasses.replace(
+            self.config.effective_retraining_config(),
+            seed=derive_seed(self.config.resilience.seed, "fat"),
+        )
+
     def retrain_chip(
         self,
         chip: Chip,
@@ -338,10 +384,7 @@ class ReduceFramework:
         self._restore_pretrained()
         masks = build_fap_masks(self.model, chip.fault_map)
         if epochs > 0 or return_state or accuracy_before is None:
-            training_config = dataclasses.replace(
-                self.config.effective_retraining_config(),
-                seed=derive_seed(self.config.resilience.seed, "chip", chip.chip_id),
-            )
+            training_config = self._fat_training_config()
             trainer = Trainer(
                 self.model,
                 self.bundle.train,
@@ -363,43 +406,157 @@ class ReduceFramework:
             # was requested: the result is fully determined.
             accuracy_after = accuracy_before
             epochs_trained = 0.0
-        masked = sum(int(mask.sum()) for mask in masks.values())
-        total = sum(mask.size for mask in masks.values())
-        result = ChipRetrainingResult(
-            chip_id=chip.chip_id,
-            fault_rate=chip.fault_rate,
-            epochs_allocated=float(epochs),
-            epochs_trained=float(epochs_trained),
-            accuracy_before=accuracy_before,
-            accuracy_after=accuracy_after,
-            meets_constraint=accuracy_after >= target - 1e-12,
-            masked_weight_fraction=masked / total if total else 0.0,
+        result = _build_chip_result(
+            chip, masks, epochs, epochs_trained, accuracy_before, accuracy_after, target
         )
         if return_state:
             return result, clone_state_dict(self.model.state_dict())
         return result
+
+    def retrain_chips_batched(
+        self,
+        chips: Sequence[Chip],
+        epochs: float,
+        target_accuracy: Optional[float] = None,
+        accuracies_before: Optional[Dict[str, float]] = None,
+        fat_batch: int = DEFAULT_FAT_BATCH,
+    ) -> List[ChipRetrainingResult]:
+        """Retrain several chips with the same epoch budget in stacked batches.
+
+        Equivalent to ``[self.retrain_chip(chip, epochs, ...) for chip in
+        chips]`` — bit-identical results on this BLAS build — but each batch
+        of up to ``fat_batch`` chips shares every GEMM of the retraining loop
+        through a :class:`~repro.accelerator.batched.BatchedFaultTrainer`.
+        Falls back to the serial per-chip trainer when the model cannot be
+        stacked (e.g. training-mode batch norm).
+
+        ``accuracies_before`` injects pre-computed initial accuracies (from
+        :meth:`triage_population`) per chip id; missing chips are evaluated
+        in one batched pass before training.
+        """
+        if epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        if fat_batch < 1:
+            raise ValueError(f"fat_batch must be >= 1, got {fat_batch}")
+        chip_list = list(chips)
+        if not chip_list:
+            return []
+        target = target_accuracy if target_accuracy is not None else self.target_accuracy
+        before_map = accuracies_before or {}
+        results: List[ChipRetrainingResult] = []
+        for start in range(0, len(chip_list), fat_batch):
+            chunk = chip_list[start:start + fat_batch]
+            self._restore_pretrained()
+            mask_sets = [build_fap_masks(self.model, chip.fault_map) for chip in chunk]
+            if epochs == 0:
+                # No training requested: any missing initial accuracy comes
+                # from the forward-only batched evaluator (identical to the
+                # triage values), and no stacked training machinery is built
+                # (mirrors the serial ``retrain_chip`` zero-epoch shortcut).
+                before = [before_map.get(chip.chip_id) for chip in chunk]
+                missing = [i for i, value in enumerate(before) if value is None]
+                if missing:
+                    eval_batch = self.config.effective_retraining_config().batch_size * 4
+                    evaluated = evaluate_chip_accuracies(
+                        self.model,
+                        self.bundle.test,
+                        [mask_sets[i] for i in missing],
+                        batch_size=eval_batch,
+                        chip_chunk=fat_batch,
+                    )
+                    for position, index in enumerate(missing):
+                        before[index] = evaluated[position]
+                for index, chip in enumerate(chunk):
+                    results.append(
+                        _build_chip_result(
+                            chip, mask_sets[index], 0.0, 0.0,
+                            before[index], before[index], target,
+                        )
+                    )
+                continue
+            try:
+                trainer = BatchedFaultTrainer(
+                    self.model,
+                    mask_sets,
+                    self.bundle.train,
+                    self.bundle.test,
+                    config=self._fat_training_config(),
+                )
+            except UnsupportedModelError as error:
+                logger.info(
+                    "batched FAT unavailable (%s); retraining %d chips serially",
+                    error,
+                    len(chunk),
+                )
+                for chip in chunk:
+                    results.append(
+                        self.retrain_chip(
+                            chip,
+                            epochs,
+                            target_accuracy=target,
+                            accuracy_before=before_map.get(chip.chip_id),
+                        )
+                    )
+                continue
+            before = [before_map.get(chip.chip_id) for chip in chunk]
+            if any(value is None for value in before):
+                evaluated = trainer.evaluate()
+                before = [
+                    value if value is not None else evaluated[index]
+                    for index, value in enumerate(before)
+                ]
+            histories = trainer.train(epochs, include_initial=False)
+            for index, chip in enumerate(chunk):
+                results.append(
+                    _build_chip_result(
+                        chip, mask_sets[index], epochs,
+                        histories[index].total_epochs, before[index],
+                        histories[index].final_accuracy, target,
+                    )
+                )
+        return results
 
     def retrain_population(
         self,
         population: ChipPopulation,
         policy: RetrainingPolicy,
         progress: bool = False,
+        batched: bool = True,
+        fat_batch: int = DEFAULT_FAT_BATCH,
     ) -> CampaignResult:
         """Run Step 3 for every chip under an arbitrary retraining policy.
 
         The initial accuracy checkpoints of all chips are evaluated first in
-        batched multi-chip passes (:meth:`triage_population`); the per-chip
-        retraining loop then starts from those values.
+        batched multi-chip passes (:meth:`triage_population`); with
+        ``batched=True`` (the default) chips whose Step-2 budgets agree are
+        then retrained together through the stacked batched-FAT path, which
+        is bit-identical to the serial per-chip loop on this BLAS build.
         """
         amounts = policy.epochs_for_population(population)
         triage = self.triage_population(population)
+        by_id: Dict[str, ChipRetrainingResult] = {}
+        if batched:
+            groups: Dict[float, List[Chip]] = {}
+            for chip in population:
+                groups.setdefault(float(amounts[chip.chip_id]), []).append(chip)
+            for epochs, chips in groups.items():
+                if epochs > 0 and len(chips) > 1:
+                    for result in self.retrain_chips_batched(
+                        chips,
+                        epochs,
+                        accuracies_before=triage,
+                        fat_batch=fat_batch,
+                    ):
+                        by_id[result.chip_id] = result
         results: List[ChipRetrainingResult] = []
         for chip in population:
-            result = self.retrain_chip(
-                chip,
-                amounts[chip.chip_id],
-                accuracy_before=triage.get(chip.chip_id),
-            )
+            result = by_id.get(chip.chip_id)
+            if result is None:
+                result = self.retrain_chip(
+                    chip,
+                    amounts[chip.chip_id],
+                    accuracy_before=triage.get(chip.chip_id),
+                )
             results.append(result)
             if progress:
                 logger.info(

@@ -145,6 +145,7 @@ def run_fig3(
     campaign_dir: Optional[Union[str, Path]] = None,
     resume: bool = True,
     disk_cache_dir: Optional[Union[str, Path]] = None,
+    fat_batch: Optional[int] = None,
 ) -> Fig3Result:
     """Run the full Fig. 3 comparison on the given context.
 
@@ -152,8 +153,10 @@ def run_fig3(
     ``jobs`` shards the per-chip retraining across worker processes
     (``1`` keeps the legacy serial behaviour), ``campaign_dir`` persists
     per-chip results to resumable JSONL stores (one per policy, resumed
-    unless ``resume=False``), and ``disk_cache_dir`` lets spawned workers
-    load the pre-trained state instead of re-pre-training.
+    unless ``resume=False``), ``disk_cache_dir`` lets spawned workers
+    load the pre-trained state instead of re-pre-training, and ``fat_batch``
+    caps how many same-budget chips the inline ``jobs == 1`` path retrains
+    together in one stacked batched-FAT run (``1`` disables coalescing).
     """
     preset = context.preset
     chips = population if population is not None else build_population(context, num_chips)
@@ -172,6 +175,7 @@ def run_fig3(
         resume=resume,
         progress=progress,
         disk_cache_dir=disk_cache_dir,
+        fat_batch=fat_batch,
     )
     campaigns: Dict[str, CampaignResult] = {}
     logger.info("fig3: retraining %d chips with reduce-max", len(chips))

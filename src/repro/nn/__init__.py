@@ -36,6 +36,7 @@ from repro.nn.optim import (
     MultiStepLR,
     CosineAnnealingLR,
     clip_grad_norm,
+    clip_grad_norm_per_chip,
 )
 from repro.nn.serialization import (
     save_checkpoint,
@@ -87,6 +88,7 @@ __all__ = [
     "MultiStepLR",
     "CosineAnnealingLR",
     "clip_grad_norm",
+    "clip_grad_norm_per_chip",
     "save_checkpoint",
     "load_checkpoint",
     "load_into",

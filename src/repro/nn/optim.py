@@ -266,3 +266,43 @@ def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
         for p in params:
             np.multiply(p.grad, scale, out=p.grad)
     return total
+
+
+def clip_grad_norm_per_chip(
+    parameters: Iterable[Parameter], max_norm: float, num_chips: int
+) -> np.ndarray:
+    """Per-chip gradient clipping over *stacked* ``(B, ...)`` parameters.
+
+    Each parameter (and its gradient) carries a leading chip axis of length
+    ``num_chips``; chip ``b``'s norm is accumulated over every parameter's
+    ``[b]`` slice and only that slice is rescaled — exactly what
+    :func:`clip_grad_norm` computes for chip ``b``'s standalone parameter
+    list, value for value (same float64 accumulation over the same
+    per-parameter order, same in-place float32 rescale).
+
+    Returns the per-chip norms before clipping, shape ``(num_chips,)``.
+    """
+    if num_chips < 1:
+        raise ValueError(f"num_chips must be >= 1, got {num_chips}")
+    params = [p for p in parameters if p.grad is not None]
+    if not params:
+        return np.zeros(num_chips, dtype=np.float64)
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    for p in params:
+        if p.grad.shape[0] != num_chips:
+            raise ValueError(
+                f"stacked gradient has leading dimension {p.grad.shape[0]}, "
+                f"expected {num_chips} chips"
+            )
+    norms = np.empty(num_chips, dtype=np.float64)
+    for chip in range(num_chips):
+        total = math.sqrt(
+            sum(float((p.grad[chip].astype(np.float64) ** 2).sum()) for p in params)
+        )
+        norms[chip] = total
+        if total > max_norm:
+            scale = max_norm / (total + 1e-12)
+            for p in params:
+                np.multiply(p.grad[chip], scale, out=p.grad[chip])
+    return norms

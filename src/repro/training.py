@@ -107,13 +107,29 @@ class TrainingHistory:
             return 0.0
         return self.records[-1].epochs
 
-    def accuracy_at(self, epochs: float, tolerance: float = 1e-9) -> float:
-        """Accuracy recorded at the checkpoint closest to ``epochs``."""
+    def accuracy_at(self, epochs: float, tolerance: float = 1e-9, strict: bool = False) -> float:
+        """Accuracy recorded at the checkpoint closest to ``epochs``.
+
+        The closest checkpoint is accepted when it lies within
+        ``max(tolerance, 25% of the requested amount)``; a match farther away
+        than that is almost certainly a caller error (asking a history for an
+        epoch amount it never evaluated), so it raises with ``strict=True``
+        and is logged at WARNING level otherwise instead of being silently
+        returned as if it were the requested checkpoint.
+        """
         if not self.records:
             raise ValueError("history is empty")
         best = min(self.records, key=lambda record: abs(record.epochs - epochs))
-        if abs(best.epochs - epochs) > max(tolerance, 0.25 * max(epochs, 1e-9)) and len(self.records) > 1:
-            logger.debug("accuracy_at(%s) matched checkpoint %s", epochs, best.epochs)
+        window = max(tolerance, 0.25 * max(epochs, 1e-9))
+        if abs(best.epochs - epochs) > window:
+            message = (
+                f"accuracy_at({epochs}): nearest recorded checkpoint is {best.epochs} "
+                f"epochs (off by {abs(best.epochs - epochs):.6g}, tolerance {window:.6g}); "
+                f"recorded checkpoints: {self.epochs}"
+            )
+            if strict:
+                raise ValueError(message)
+            logger.warning(message)
         return best.eval_accuracy
 
     def epochs_to_reach(self, target_accuracy: float) -> Optional[float]:
@@ -142,13 +158,52 @@ def _as_loader(
     return DataLoader(data, batch_size=batch_size, shuffle=shuffle, seed=seed)
 
 
+def require_nonempty_train_loader(loader: DataLoader) -> DataLoader:
+    """Reject loaders that yield no batches (they would hang training loops).
+
+    An empty loader (empty dataset, or ``drop_last`` with fewer samples than
+    a batch) makes a ``while remaining > 0`` step loop spin forever around a
+    zero-batch iterator; both trainers fail loudly at construction instead.
+    """
+    if len(loader) == 0:
+        raise ValueError(
+            "train loader yields no batches "
+            f"({loader.num_samples} samples, batch_size={loader.batch_size}, "
+            f"drop_last={loader.drop_last}); "
+            "training requires at least one batch per epoch"
+        )
+    return loader
+
+
+def _as_eval_loader(data: Union[Dataset, DataLoader], batch_size: int) -> DataLoader:
+    """A deterministic, unshuffled view of ``data`` for evaluation.
+
+    A caller-supplied *shuffled* loader is never iterated directly: every
+    iteration would draw a permutation from its generator, so evaluating
+    mid-training with the training loader (or any loader sharing its RNG)
+    would silently change the order of all subsequent training batches.  The
+    evaluation instead walks the same dataset unshuffled, which consumes no
+    random state and is order-independent for the metrics computed here.
+    """
+    if isinstance(data, DataLoader):
+        if not data.shuffle:
+            return data
+        return DataLoader(
+            data.dataset,
+            batch_size=data.batch_size,
+            shuffle=False,
+            drop_last=data.drop_last,
+        )
+    return DataLoader(data, batch_size=batch_size, shuffle=False, seed=0)
+
+
 def evaluate_accuracy(
     model: nn.Module,
     data: Union[Dataset, DataLoader],
     batch_size: int = 128,
 ) -> float:
     """Top-1 accuracy of ``model`` on ``data`` (model mode is restored)."""
-    loader = _as_loader(data, batch_size=batch_size, shuffle=False, seed=0)
+    loader = _as_eval_loader(data, batch_size=batch_size)
     was_training = model.training
     model.eval()
     correct = 0
@@ -170,7 +225,7 @@ def evaluate_loss(
     batch_size: int = 128,
 ) -> float:
     """Mean cross-entropy loss of ``model`` on ``data``."""
-    loader = _as_loader(data, batch_size=batch_size, shuffle=False, seed=0)
+    loader = _as_eval_loader(data, batch_size=batch_size)
     was_training = model.training
     model.eval()
     total_loss = 0.0
@@ -315,9 +370,10 @@ class Trainer:
             seed=derive_seed(self.config.seed, "train-loader"),
         )
         self.eval_data = eval_data
+        require_nonempty_train_loader(self.train_loader)
         self.optimizer = self.config.build_optimizer(model.parameters())
         self.steps_taken = 0
-        self.batches_per_epoch = max(1, len(self.train_loader))
+        self.batches_per_epoch = len(self.train_loader)
         # Resolve mask → parameter bindings once; the per-step hot loop then
         # enforces masks via in-place float multiplies instead of re-walking
         # ``named_modules()`` and boolean fancy-indexing on every step.

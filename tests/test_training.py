@@ -169,6 +169,70 @@ class TestTrainer:
             trainer.train(-1.0)
 
 
+class TestEmptyLoaderGuard:
+    def test_empty_dataset_rejected_at_construction(self, blob_bundle):
+        from repro.data.dataset import TensorDataset
+
+        empty = TensorDataset(
+            np.zeros((0, 8), dtype=np.float32), np.zeros((0,), dtype=np.int64)
+        )
+        model = MLP(8, blob_bundle.num_classes, hidden_sizes=(8,), seed=0)
+        with pytest.raises(ValueError, match="no batches"):
+            Trainer(model, empty, blob_bundle.test, config=TrainingConfig(batch_size=16))
+
+    def test_drop_last_smaller_than_batch_rejected(self, blob_bundle):
+        # drop_last with fewer samples than one batch yields a zero-batch
+        # loader; before the guard this spun _train_steps forever.
+        loader = DataLoader(
+            blob_bundle.train, batch_size=10_000, shuffle=True, drop_last=True, seed=0
+        )
+        model = MLP(8, blob_bundle.num_classes, hidden_sizes=(8,), seed=0)
+        with pytest.raises(ValueError, match="no batches"):
+            Trainer(model, loader, blob_bundle.test)
+
+    def test_one_batch_loader_still_trains(self, blob_bundle):
+        model = MLP(8, blob_bundle.num_classes, hidden_sizes=(8,), seed=0)
+        loader = DataLoader(blob_bundle.train, batch_size=10_000, shuffle=False)
+        trainer = Trainer(model, loader, blob_bundle.test)
+        trainer.train(1.0, include_initial=False)
+        assert trainer.steps_taken == 1
+
+
+class TestEvaluationRngIsolation:
+    def _train_history(self, blob_bundle, interleave):
+        from repro.training import evaluate_accuracy, evaluate_loss
+
+        model = MLP(8, blob_bundle.num_classes, hidden_sizes=(16,), seed=2)
+        config = TrainingConfig(learning_rate=0.05, batch_size=16, seed=9)
+        trainer = Trainer(model, blob_bundle.train, blob_bundle.test, config=config)
+        histories = []
+        for _ in range(3):
+            histories.append(trainer.train(0.5, include_initial=False))
+            if interleave:
+                # Evaluating through the *shuffled training loader* must not
+                # advance its RNG (it used to, changing every later batch).
+                evaluate_accuracy(model, trainer.train_loader)
+                evaluate_loss(model, trainer.train_loader)
+        return [h.final_accuracy for h in histories], model.state_dict()
+
+    def test_interleaved_evaluation_does_not_change_training(self, blob_bundle):
+        plain_accs, plain_state = self._train_history(blob_bundle, interleave=False)
+        mixed_accs, mixed_state = self._train_history(blob_bundle, interleave=True)
+        assert plain_accs == mixed_accs
+        for name in plain_state:
+            np.testing.assert_array_equal(plain_state[name], mixed_state[name])
+
+    def test_shuffled_loader_rng_untouched_by_evaluation(self, blob_bundle):
+        from repro.training import evaluate_accuracy
+
+        loader = DataLoader(blob_bundle.train, batch_size=16, shuffle=True, seed=11)
+        model = MLP(8, blob_bundle.num_classes, hidden_sizes=(8,), seed=0)
+        evaluate_accuracy(model, loader)
+        first_after_eval = next(iter(loader))[1]
+        fresh = DataLoader(blob_bundle.train, batch_size=16, shuffle=True, seed=11)
+        np.testing.assert_array_equal(first_after_eval, next(iter(fresh))[1])
+
+
 class TestTrainingHistory:
     def test_history_queries(self, blob_bundle):
         model = MLP(blob_bundle.input_shape[0], blob_bundle.num_classes, hidden_sizes=(24,), seed=0)
@@ -193,6 +257,28 @@ class TestTrainingHistory:
         with pytest.raises(ValueError):
             history.accuracy_at(1.0)
         assert history.total_epochs == 0.0
+
+    def test_accuracy_at_far_checkpoint_warns_and_strict_raises(self, caplog, monkeypatch):
+        import logging
+
+        from repro.training import CheckpointRecord, TrainingHistory
+
+        # The library's logger hierarchy does not propagate to the root
+        # logger; let it through so caplog can observe the warning.
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        history = TrainingHistory()
+        history.add(CheckpointRecord(epochs=0.05, steps=1, train_loss=1.0, eval_accuracy=0.5))
+        # Within tolerance: exact checkpoint, no warning.
+        with caplog.at_level(logging.WARNING, logger="repro.training"):
+            assert history.accuracy_at(0.05) == 0.5
+        assert not caplog.records
+        # The nearest checkpoint is 100x away from the request: previously
+        # this silently returned 0.5 as if it were the 5.0-epoch accuracy.
+        with caplog.at_level(logging.WARNING, logger="repro.training"):
+            assert history.accuracy_at(5.0) == 0.5
+        assert any("accuracy_at" in record.message for record in caplog.records)
+        with pytest.raises(ValueError, match="nearest recorded checkpoint"):
+            history.accuracy_at(5.0, strict=True)
 
 
 class TestDropoutDeterminism:
