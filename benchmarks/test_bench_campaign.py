@@ -53,6 +53,37 @@ def test_bench_campaign_parallel_matches_serial(benchmark, fast_context, bench_p
     assert campaign.results == serial.results
 
 
+FAT_BATCH = 6
+
+
+def test_bench_campaign_batched_jobs1(benchmark, fast_context, fast_population):
+    """Fixed-budget campaign throughput at --jobs 1 x --fat-batch 6.
+
+    The baseline of the --jobs scaling pair below: the full fast-preset
+    population (24 chips -> 4 stacked chunks) executes inline in one process.
+    """
+    engine = CampaignEngine(fast_context, jobs=1, fat_batch=FAT_BATCH)
+    campaign = run_once(benchmark, engine.run, fast_population, FixedEpochPolicy(BUDGET))
+    _record_throughput(benchmark, engine)
+    assert campaign.num_chips == len(fast_population)
+
+
+def test_bench_campaign_batched_jobsN(benchmark, fast_context, fast_population):
+    """Fixed-budget campaign throughput at --jobs N x --fat-batch 6.
+
+    The planner hands whole stacked chunks to the worker pool, so the
+    stacked-GEMM batching and the process-level parallelism compose; results
+    must remain bit-identical to the inline batched run.
+    """
+    baseline = CampaignEngine(fast_context, jobs=1, fat_batch=FAT_BATCH).run(
+        fast_population, FixedEpochPolicy(BUDGET)
+    )
+    engine = CampaignEngine(fast_context, jobs=PARALLEL_JOBS, fat_batch=FAT_BATCH)
+    campaign = run_once(benchmark, engine.run, fast_population, FixedEpochPolicy(BUDGET))
+    _record_throughput(benchmark, engine)
+    assert campaign.results == baseline.results
+
+
 def test_bench_campaign_resume_is_free(benchmark, fast_context, bench_population, tmp_path_factory):
     """A warm store makes re-running a campaign O(read) instead of O(retrain)."""
     store_base = tmp_path_factory.mktemp("campaign-store")

@@ -273,6 +273,73 @@ def test_bench_fat_retraining_batched_mlp_8chips(benchmark, smoke_context):
     assert len(accuracies) == len(mask_sets)
 
 
+def _bn_fat_setup(context, num_chips=4):
+    """A vgg11_mini (training-mode BatchNorm) FAT workload at fast scale."""
+    from repro.models import vgg11_mini
+
+    model = vgg11_mini(
+        input_shape=context.bundle.input_shape,
+        num_classes=context.bundle.num_classes,
+        seed=0,
+    )
+    pretrained = model.state_dict()
+    mask_sets = [
+        model_fault_masks(
+            model, FaultMap.random(*context.array.shape, 0.06 + 0.03 * i, seed=400 + i)
+        )
+        for i in range(num_chips)
+    ]
+    config = TrainingConfig(learning_rate=0.02, batch_size=40, seed=0)
+    return model, pretrained, mask_sets, config
+
+
+def test_bench_fat_retraining_serial_batchnorm_4chips(benchmark, fast_context):
+    """Serial FAT on the training-mode-BatchNorm workload (vgg11_mini).
+
+    Exercises the fused batch-norm autograd op (previously ~15 generic
+    autograd nodes per BN layer, profiled at ~20% of a vgg11_mini step) and
+    the comparator for the stacked run below.
+    """
+    context = fast_context
+    model, pretrained, mask_sets, config = _bn_fat_setup(context)
+
+    def run():
+        accuracies = []
+        for masks in mask_sets:
+            model.load_state_dict(pretrained)
+            trainer = Trainer(
+                model, context.bundle.train, context.bundle.test, config=config, masks=masks
+            )
+            accuracies.append(trainer.train(0.25, include_initial=False).final_accuracy)
+        return accuracies
+
+    accuracies = benchmark(run)
+    assert len(accuracies) == len(mask_sets)
+
+
+def test_bench_fat_retraining_batched_batchnorm_4chips(benchmark, fast_context):
+    """Batched FAT on the BatchNorm workload: the stacked path, no fallback.
+
+    Training-mode BatchNorm previously forced this model onto the serial
+    per-chip trainer; the stacked per-chip-fold batch norm keeps the whole
+    VGG-style flagship on the batched substrate, bit-identical to serial.
+    """
+    from repro.accelerator.batched import BatchedFaultTrainer
+
+    context = fast_context
+    model, pretrained, mask_sets, config = _bn_fat_setup(context)
+
+    def run():
+        model.load_state_dict(pretrained)
+        trainer = BatchedFaultTrainer(
+            model, mask_sets, context.bundle.train, context.bundle.test, config=config
+        )
+        return [h.final_accuracy for h in trainer.train(0.25, include_initial=False)]
+
+    accuracies = benchmark(run)
+    assert len(accuracies) == len(mask_sets)
+
+
 def test_bench_resilience_profile_lookup(benchmark, fast_profile):
     """Step-2 lookups must be effectively free compared with retraining."""
     chip = Chip("bench", FaultMap.random(64, 64, 0.17, seed=5))

@@ -58,17 +58,64 @@ from repro.accelerator.mapping import model_fault_masks
 from repro.data.dataloader import DataLoader
 from repro.data.dataset import Dataset
 from repro.nn import functional as F
-from repro.nn.functional import col2im_t, im2col, im2col_t
+from repro.nn.functional import (
+    _bn_axes,
+    _bn_eval_forward,
+    _bn_train_backward,
+    _bn_train_forward,
+    bn_running_update,
+    col2im_t,
+    im2col,
+    im2col_t,
+)
 from repro.nn.tensor import Function, is_grad_enabled
 
 MaskDict = Dict[str, np.ndarray]
+
+# Shared-prefix lowering cache: maps ``(layer_name, batch_index)`` to the
+# cached ``(cols, out_h, out_w)`` lowering of that eval batch at that layer.
+# Valid whenever the input to the first batched layer is a deterministic
+# function of the batch — true for unshuffled evaluation passes, where the
+# prefix holds no stochastic or per-chip layers — so per-checkpoint
+# evaluations (and successive chip chunks over the same test set) stop
+# re-lowering identical batches.
+LoweringCache = Dict[Tuple[str, int], Tuple[np.ndarray, int, int]]
+
+# An im2col lowering is a ``C * kh * kw``-fold expansion of its batch, so an
+# unbounded cache over a large eval set could dwarf the stacked weights it
+# sits next to.  Inserts stop once the cached lowerings reach this many
+# float32 elements (128 MB); later batches simply re-lower — a throughput
+# fallback, never a correctness change.
+LOWERING_CACHE_MAX_FLOATS = 32 * 1024 * 1024
+
+
+def _lowering_cache_put(
+    cache: LoweringCache,
+    key: Tuple[str, int],
+    value: Tuple[np.ndarray, int, int],
+) -> None:
+    """Insert into a lowering cache unless its float budget is exhausted."""
+    cached_floats = sum(entry[0].size for entry in cache.values())
+    if cached_floats + value[0].size <= LOWERING_CACHE_MAX_FLOATS:
+        cache[key] = value
+
+
+def _cached_lowering(cache, key, compute):
+    """Get-or-compute one shared-prefix lowering through the budget cap."""
+    entry = cache.get(key)
+    if entry is None:
+        entry = compute()
+        _lowering_cache_put(cache, key, entry)
+    return entry
 
 
 class UnsupportedModelError(RuntimeError):
     """The model contains layers the batched fault-aware trainer cannot stack.
 
-    Raised at :class:`BatchedFaultTrainer` construction (never mid-training)
-    so callers can fall back to the serial per-chip trainer.
+    Raised at :class:`BatchedFaultTrainer` construction (never mid-training).
+    Every parametric layer family in this repository (``Linear``, ``Conv2d``,
+    ``BatchNorm1d/2d``) stacks, so this only fires for user-defined layers
+    with trainable parameters the trainer does not know how to fold per chip.
     """
 
 # Stacked per-chip weights cost ``chips x model-size`` floats; population
@@ -119,13 +166,30 @@ class BatchedFaultEvaluator:
     mask_sets:
         One mask dict per chip (as produced by ``build_fap_masks``), all with
         identical layer keys.  ``True`` marks a weight forced to zero.
+    lowering_cache:
+        Optional shared :data:`LoweringCache`.  When given,
+        :meth:`evaluate_accuracy` caches (and reuses) the shared-prefix
+        im2col lowering of each eval batch keyed by batch index, so several
+        evaluators walking the same unshuffled data — e.g. successive chip
+        chunks of a population triage — lower each batch exactly once.  Only
+        valid across evaluators that share the model weights and iterate the
+        same batches in the same order.
     """
 
-    def __init__(self, model: nn.Module, mask_sets: Sequence[MaskDict]) -> None:
+    def __init__(
+        self,
+        model: nn.Module,
+        mask_sets: Sequence[MaskDict],
+        lowering_cache: Optional[LoweringCache] = None,
+    ) -> None:
         if not mask_sets:
             raise ValueError("mask_sets must contain at least one chip")
         self.model = model
         self.num_chips = len(mask_sets)
+        self._lowering_cache = lowering_cache
+        # Index of the eval batch currently in flight (None outside
+        # evaluate_accuracy: inputs of unknown identity are never cached).
+        self._batch_index: Optional[int] = None
         key_set = set(mask_sets[0])
         for index, masks in enumerate(mask_sets[1:], start=1):
             if set(masks) != key_set:
@@ -217,7 +281,13 @@ class BatchedFaultEvaluator:
         def forward(x: nn.Tensor) -> nn.Tensor:
             module = layer.module
             data = x.data
-            cols, out_h, out_w = im2col(data, module.kernel_size, module.stride, module.padding)
+            lower = lambda: im2col(data, module.kernel_size, module.stride, module.padding)
+            if self._shared_prefix and self._lowering_cache is not None and self._batch_index is not None:
+                cols, out_h, out_w = _cached_lowering(
+                    self._lowering_cache, (layer.name, self._batch_index), lower
+                )
+            else:
+                cols, out_h, out_w = lower()
             if self._shared_prefix:
                 out = self._expand_shared(cols, layer)  # (B, n*oh*ow, O)
             else:
@@ -295,13 +365,15 @@ class BatchedFaultEvaluator:
         self.model.eval()
         try:
             with nn.no_grad(), self._patched():
-                for inputs, targets in loader:
+                for batch_index, (inputs, targets) in enumerate(loader):
+                    self._batch_index = batch_index
                     n = inputs.data.shape[0]
                     logits = self._forward_all_chips(inputs.data)
                     predictions = logits.argmax(axis=-1)
                     correct += (predictions == np.asarray(targets)[None, :]).sum(axis=1)
                     total += n
         finally:
+            self._batch_index = None
             if was_training:
                 self.model.train()
         if total == 0:
@@ -315,18 +387,31 @@ def evaluate_chip_accuracies(
     mask_sets: Sequence[MaskDict],
     batch_size: int = 128,
     chip_chunk: int = DEFAULT_CHIP_CHUNK,
+    lowering_cache: Optional[LoweringCache] = None,
 ) -> List[float]:
     """Accuracy of ``model`` under each chip's masks, batched in chip chunks.
 
     The convenience wrapper over :class:`BatchedFaultEvaluator` used by the
     population triage and campaign checkpoints: peak memory is bounded by
-    ``chip_chunk`` stacked weight copies regardless of population size.
+    ``chip_chunk`` stacked weight copies plus the (capped, see
+    :data:`LOWERING_CACHE_MAX_FLOATS`) lowering cache, regardless of
+    population size.
+
+    Every chunk walks the same unshuffled eval batches, so the shared-prefix
+    im2col lowering is cached across chunks (``lowering_cache``, created per
+    call when not supplied): each test batch is lowered once for the whole
+    population instead of once per chunk.  Callers evaluating the *same
+    model and data* repeatedly (e.g. triage over a population larger than
+    one mask-chunk) may pass their own cache to extend the reuse.
     """
     if chip_chunk < 1:
         raise ValueError(f"chip_chunk must be >= 1, got {chip_chunk}")
+    cache: LoweringCache = lowering_cache if lowering_cache is not None else {}
     accuracies: List[float] = []
     for start in range(0, len(mask_sets), chip_chunk):
-        evaluator = BatchedFaultEvaluator(model, mask_sets[start:start + chip_chunk])
+        evaluator = BatchedFaultEvaluator(
+            model, mask_sets[start:start + chip_chunk], lowering_cache=cache
+        )
         accuracies.extend(evaluator.evaluate_accuracy(data, batch_size=batch_size))
     return accuracies
 
@@ -514,6 +599,7 @@ class _StackedConv2dFunction(Function):
         padding: Tuple[int, int],
         num_chips: int,
         shared: bool,
+        lowering: Optional[Tuple[np.ndarray, int, int]] = None,
     ) -> np.ndarray:
         chips, out_channels, in_channels, kh, kw = weight.shape
         if x.shape[1] != in_channels:
@@ -523,7 +609,13 @@ class _StackedConv2dFunction(Function):
         w2 = weight.reshape(chips, out_channels, -1)
         if shared:
             per_chip = x.shape[0]
-            cols_op, out_h, out_w = im2col_t(x, (kh, kw), stride, padding)  # (K, P)
+            if lowering is not None:
+                # Pre-lowered shared input (the trainer's eval-pass cache);
+                # only read here, never saved for backward (eval runs under
+                # no_grad), so the cached array is never aliased or mutated.
+                cols_op, out_h, out_w = lowering
+            else:
+                cols_op, out_h, out_w = im2col_t(x, (kh, kw), stride, padding)  # (K, P)
             # Wide GEMM: all chips' weight rows in one (B * O, K) @ (K, P)
             # call.  Per-chip row blocks are bit-identical to the serial
             # (O, K) @ (K, P) GEMM on this BLAS build (pinned by tests), and
@@ -682,6 +774,116 @@ def stacked_cross_entropy(
     )
 
 
+class _StackedBatchNormFunction(Function):
+    """B per-chip training-mode batch norms with per-chip-fold statistics.
+
+    Chip ``b``'s fold of the folded ``(B * n, ...)`` activations is
+    normalised with its *own* batch statistics using the exact serial fused
+    arithmetic — :func:`repro.nn.functional._bn_train_forward` /
+    ``_bn_train_backward`` applied to the contiguous per-chip slice — so
+    outputs and gradients are bit-identical to B serial
+    :class:`~repro.nn.functional.BatchNormFunction` calls.  ``shared=True``
+    (a batch norm reached before any other stacked layer) reads the
+    un-replicated shared input once per chip and emits a folded output:
+    per-chip gamma/beta diverge after the first optimizer step, so a stacked
+    batch norm always ends the shared prefix.
+
+    ``stats_out`` collects ``(batch_mean, biased_batch_var)`` per chip for
+    the per-chip running-statistics update.
+    """
+
+    def forward(
+        self,
+        x: np.ndarray,
+        weight: np.ndarray,  # (B, C) per-chip gamma
+        bias: np.ndarray,  # (B, C) per-chip beta
+        num_chips: int,
+        eps: float,
+        shared: bool,
+        stats_out: Optional[list] = None,
+    ) -> np.ndarray:
+        reduce_axes, param_shape = _bn_axes(x.ndim)
+        per_chip = x.shape[0] if shared else x.shape[0] // num_chips
+        out = np.empty((num_chips * per_chip,) + x.shape[1:], dtype=x.dtype)
+        normalised = np.empty_like(out)
+        inv_stds: List[np.ndarray] = []
+        for chip in range(num_chips):
+            fold = slice(chip * per_chip, (chip + 1) * per_chip)
+            x_b = x if shared else x[fold]
+            out_b, norm_b, inv_std, mean, var = _bn_train_forward(
+                x_b,
+                weight[chip].reshape(param_shape),
+                bias[chip].reshape(param_shape),
+                reduce_axes,
+                eps,
+            )
+            out[fold] = out_b
+            normalised[fold] = norm_b
+            inv_stds.append(inv_std)
+            if stats_out is not None:
+                stats_out.append((mean.reshape(-1), var.reshape(-1)))
+        if is_grad_enabled():
+            self.save_for_backward(
+                weight, normalised, inv_stds, reduce_axes, param_shape,
+                num_chips, per_chip, shared, x.shape,
+            )
+        return out
+
+    def backward(self, grad_output: np.ndarray):
+        (weight, normalised, inv_stds, reduce_axes, param_shape,
+         num_chips, per_chip, shared, x_shape) = self.saved
+        grad_w = np.empty_like(weight)
+        grad_b = np.empty_like(weight)
+        # Skip the dx computation entirely for a first-layer batch norm
+        # whose input is the data batch (mirrors the conv/linear gating).
+        need_x = not self.needs_input_grad or self.needs_input_grad[0]
+        grad_x: Optional[np.ndarray] = None
+        if need_x:
+            if shared:
+                # The shared input feeds every chip's branch, so its gradient
+                # sums over chips (only reachable when the shared input itself
+                # requires grad — never the data batch).
+                grad_x = np.zeros(x_shape, dtype=grad_output.dtype)
+            else:
+                grad_x = np.empty(x_shape, dtype=grad_output.dtype)
+        for chip in range(num_chips):
+            fold = slice(chip * per_chip, (chip + 1) * per_chip)
+            dx_b, dgamma, dbeta = _bn_train_backward(
+                grad_output[fold],
+                weight[chip].reshape(param_shape),
+                normalised[fold],
+                inv_stds[chip],
+                reduce_axes,
+                need_input_grad=need_x,
+            )
+            grad_w[chip] = dgamma
+            grad_b[chip] = dbeta
+            if need_x:
+                if shared:
+                    grad_x += dx_b
+                else:
+                    grad_x[fold] = dx_b
+        return grad_x, grad_w, grad_b
+
+
+@dataclasses.dataclass
+class _StackedNormLayer:
+    """One batch-norm layer with B stacked per-chip parameters and statistics.
+
+    Unlike the GEMM layers, batch norm carries trainable per-chip gamma/beta
+    *and* non-trainable per-chip running statistics that diverge as soon as
+    per-chip activations do — both live here as ``(B, C)`` stacks; the
+    module's own buffers are never touched.
+    """
+
+    name: str
+    module: nn.Module
+    weight: "nn.Parameter"  # (B, C) gamma
+    bias: "nn.Parameter"  # (B, C) beta
+    running_mean: np.ndarray  # (B, C) float32
+    running_var: np.ndarray  # (B, C) float32
+
+
 @dataclasses.dataclass
 class _StackedLayer:
     """One parametric layer with its B stacked per-chip weights (and masks)."""
@@ -720,12 +922,13 @@ class BatchedFaultTrainer:
     modified: stacked copies are trained, and per-chip results are read back
     with :meth:`chip_state_dict`.
 
-    Supported models are compositions of ``Linear``/``Conv2d`` (stacked),
-    parameter-free per-sample layers (activations, pooling, flatten) and
-    ``Dropout`` (shared noise, drawn from the same trainer-seeded stream as
-    the serial runs).  Training-mode ``BatchNorm`` mixes samples across the
-    chip fold and is rejected with :class:`UnsupportedModelError` so callers
-    can fall back to the serial path.
+    Supported models are compositions of ``Linear``/``Conv2d`` (stacked
+    GEMMs), ``BatchNorm1d/2d`` (stacked per-chip gamma/beta and running
+    statistics with per-chip-fold batch statistics — see
+    :class:`_StackedBatchNormFunction`), parameter-free per-sample layers
+    (activations, pooling, flatten) and ``Dropout`` (shared noise, drawn
+    from the same trainer-seeded stream as the serial runs).  Only unknown
+    user-defined parametric layers raise :class:`UnsupportedModelError`.
     """
 
     def __init__(
@@ -768,8 +971,15 @@ class BatchedFaultTrainer:
         # True while the current forward pass is still on the shared
         # (un-replicated) input; flipped by the first stacked layer.
         self._shared_prefix = True
+        # Shared-prefix lowerings of the (unshuffled, deterministic) eval
+        # batches, reused across every per-checkpoint evaluation of this
+        # trainer.  Keyed by (layer name, batch index); only populated while
+        # ``_eval_batch_index`` is set inside :meth:`evaluate`.
+        self._eval_lowering: LoweringCache = {}
+        self._eval_batch_index: Optional[int] = None
 
         self._layers: List[_StackedLayer] = []
+        self._norm_layers: List[_StackedNormLayer] = []
         self._dropouts: List[nn.Module] = []
         parameters: List[nn.Parameter] = []
         for name, module in model.named_modules():
@@ -779,10 +989,39 @@ class BatchedFaultTrainer:
             direct = [p for p in module._parameters.values() if p is not None]
             if not direct:
                 continue
+            if isinstance(module, nn.BatchNorm2d):  # BatchNorm1d subclasses it
+                if name in key_set:
+                    raise ValueError(
+                        f"layer {name!r} is a batch norm and cannot carry a fault mask"
+                    )
+                weight_param = nn.Parameter(
+                    np.repeat(module.weight.data[None], self.num_chips, axis=0)
+                )
+                bias_param = nn.Parameter(
+                    np.repeat(module.bias.data[None], self.num_chips, axis=0)
+                )
+                self._norm_layers.append(
+                    _StackedNormLayer(
+                        name=name,
+                        module=module,
+                        weight=weight_param,
+                        bias=bias_param,
+                        running_mean=np.repeat(
+                            np.asarray(module.running_mean)[None], self.num_chips, axis=0
+                        ),
+                        running_var=np.repeat(
+                            np.asarray(module.running_var)[None], self.num_chips, axis=0
+                        ),
+                    )
+                )
+                # Same order as ``model.parameters()`` (weight before bias).
+                parameters.append(weight_param)
+                parameters.append(bias_param)
+                continue
             if not isinstance(module, (nn.Linear, nn.Conv2d)):
                 raise UnsupportedModelError(
                     f"layer {name!r} ({type(module).__name__}) has trainable "
-                    "parameters but is not a stackable Linear/Conv2d; "
+                    "parameters but is not a stackable Linear/Conv2d/BatchNorm; "
                     "batched fault-aware retraining cannot fold it per chip"
                 )
             weight = module.weight.data
@@ -857,10 +1096,77 @@ class BatchedFaultTrainer:
             module = layer.module
             shared = self._shared_prefix
             self._shared_prefix = False
+            lowering = None
+            if shared and self._eval_batch_index is not None:
+                # Evaluation pass over the unshuffled eval loader: the input
+                # to the first stacked layer is a pure function of the batch
+                # (the prefix holds no parametric or stochastic layers), so
+                # its lowering is identical at every checkpoint and cached.
+                lowering = _cached_lowering(
+                    self._eval_lowering,
+                    (layer.name, self._eval_batch_index),
+                    lambda: im2col_t(
+                        x.data, module.kernel_size, module.stride, module.padding
+                    ),
+                )
             return _StackedConv2dFunction.apply(
                 x, layer.weight, layer.bias,
-                module.stride, module.padding, self.num_chips, shared,
+                module.stride, module.padding, self.num_chips, shared, lowering,
             )
+
+        return forward
+
+    def _norm_forward(self, layer: _StackedNormLayer):
+        def forward(x: nn.Tensor) -> nn.Tensor:
+            module = layer.module
+            shared = self._shared_prefix
+            self._shared_prefix = False
+            if module.training:
+                stats: List[Tuple[np.ndarray, np.ndarray]] = []
+                out = _StackedBatchNormFunction.apply(
+                    x, layer.weight, layer.bias, self.num_chips, module.eps, shared, stats
+                )
+                # Per-chip running-statistics update: the same EMA arithmetic
+                # the serial layer applies, on chip b's own batch statistics.
+                reduce_axes, _ = _bn_axes(x.ndim)
+                per_chip = x.shape[0] if shared else x.shape[0] // self.num_chips
+                reduce_count = per_chip
+                for axis in reduce_axes[1:]:
+                    reduce_count *= x.shape[axis]
+                for chip, (batch_mean, batch_var) in enumerate(stats):
+                    new_mean, new_var = bn_running_update(
+                        layer.running_mean[chip],
+                        layer.running_var[chip],
+                        batch_mean,
+                        batch_var,
+                        reduce_count,
+                        module.momentum,
+                    )
+                    layer.running_mean[chip] = new_mean
+                    layer.running_var[chip] = new_var
+                return out
+            # Eval mode: per-chip running statistics as constants, through
+            # the same arithmetic helper as the serial eval path (slice for
+            # slice bit-identical).  Evaluation runs under no_grad, so no
+            # autograd node is needed.
+            data = x.data
+            _, param_shape = _bn_axes(data.ndim)
+            per_chip = data.shape[0] if shared else data.shape[0] // self.num_chips
+            out = np.empty(
+                (self.num_chips * per_chip,) + data.shape[1:], dtype=data.dtype
+            )
+            for chip in range(self.num_chips):
+                fold = slice(chip * per_chip, (chip + 1) * per_chip)
+                x_b = data if shared else data[fold]
+                out[fold] = _bn_eval_forward(
+                    x_b,
+                    layer.weight.data[chip].reshape(param_shape),
+                    layer.bias.data[chip].reshape(param_shape),
+                    layer.running_mean[chip].reshape(param_shape),
+                    layer.running_var[chip].reshape(param_shape),
+                    module.eps,
+                )
+            return nn.Tensor(out)
 
         return forward
 
@@ -899,6 +1205,14 @@ class BatchedFaultTrainer:
                 )
                 object.__setattr__(layer.module, "forward", make(layer))
                 patched.append(layer.module)
+            for norm in self._norm_layers:
+                if "forward" in norm.module.__dict__:
+                    raise RuntimeError(
+                        f"layer {norm.name!r} already has a patched forward "
+                        "(nested batched execution is not supported)"
+                    )
+                object.__setattr__(norm.module, "forward", self._norm_forward(norm))
+                patched.append(norm.module)
             for module in self._dropouts:
                 if "forward" in module.__dict__:
                     raise RuntimeError("dropout layer already has a patched forward")
@@ -965,8 +1279,9 @@ class BatchedFaultTrainer:
         total = 0
         try:
             with nn.no_grad(), self._patched():
-                for inputs, targets in loader:
+                for batch_index, (inputs, targets) in enumerate(loader):
                     self._shared_prefix = True
+                    self._eval_batch_index = batch_index
                     n = inputs.data.shape[0]
                     logits = self.model(inputs).data
                     if self._shared_prefix:
@@ -978,6 +1293,7 @@ class BatchedFaultTrainer:
                     correct += (predictions == np.asarray(targets)[None, :]).sum(axis=1)
                     total += n
         finally:
+            self._eval_batch_index = None
             if was_training:
                 self.model.train()
         if total == 0:
@@ -1047,4 +1363,10 @@ class BatchedFaultTrainer:
             state[f"{prefix}weight"] = layer.weight.data[chip].copy()
             if layer.bias is not None:
                 state[f"{prefix}bias"] = layer.bias.data[chip].copy()
+        for norm in self._norm_layers:
+            prefix = f"{norm.name}." if norm.name else ""
+            state[f"{prefix}weight"] = norm.weight.data[chip].copy()
+            state[f"{prefix}bias"] = norm.bias.data[chip].copy()
+            state[f"{prefix}running_mean"] = norm.running_mean[chip].copy()
+            state[f"{prefix}running_var"] = norm.running_var[chip].copy()
         return state

@@ -12,8 +12,10 @@ from repro.campaign.jobs import (
     ChipJob,
     build_jobs,
     execute_job,
+    execute_job_chunk,
     execute_jobs_batched,
     group_jobs_by_epochs,
+    plan_job_chunks,
 )
 from repro.campaign.store import (
     CampaignStore,
@@ -28,8 +30,10 @@ __all__ = [
     "ChipJob",
     "build_jobs",
     "execute_job",
+    "execute_job_chunk",
     "execute_jobs_batched",
     "group_jobs_by_epochs",
+    "plan_job_chunks",
     "CampaignStore",
     "CampaignStoreError",
     "campaign_fingerprint",

@@ -1,22 +1,33 @@
-"""Sharded, resumable campaign engine.
+"""Sharded, resumable campaign engine (the campaign planner/executor).
 
 The engine turns ``ReduceFramework.retrain_population`` into a dispatchable
-workload: Step 2 (policy resolution) runs once in the parent process and is
-frozen into picklable :class:`~repro.campaign.jobs.ChipJob` units, which are
-then sharded across a ``multiprocessing`` pool (``jobs > 1``) or executed
-inline (``jobs == 1``, the exact legacy code path).  With a store base
-directory the engine persists every finished chip to a content-addressed
-JSONL store and skips already-completed chips on restart, so a killed
-campaign resumes where it left off.
+workload in two stages:
+
+* **Plan.** Step 2 (policy resolution) runs once in the parent process and
+  is frozen into picklable :class:`~repro.campaign.jobs.ChipJob` units; the
+  pending jobs are then partitioned into same-budget *chunks* of at most
+  ``fat_batch`` jobs (:func:`~repro.campaign.jobs.plan_job_chunks`).
+* **Execute.** Whole chunks — not single chips — are dispatched to a
+  ``multiprocessing`` pool (``jobs > 1``) or executed inline (``jobs == 1``).
+  A multi-job chunk runs through one stacked
+  :class:`~repro.accelerator.batched.BatchedFaultTrainer`, so process-level
+  parallelism and stacked-GEMM batching compose: ``--jobs N`` workers each
+  retrain ``--fat-batch`` chips per dispatch.
+
+With a store base directory the engine persists every finished chunk to a
+content-addressed JSONL store (one fsync per chunk — the group-result
+protocol) and skips already-completed chips on restart, so a killed campaign
+loses at most the chunks in flight and resumes where it left off.
 
 Determinism: the retraining seed is a pure function of the campaign
 configuration and is shared by every chip (see
-``ReduceFramework._fat_training_config``), every execution restores the same
-pre-trained weights first, and results are re-ordered to population order —
-so serial, parallel and resumed runs produce bit-identical results.  The
-shared seed also lets the inline (``jobs == 1``) path coalesce same-budget
-chips into stacked batched-FAT runs (``fat_batch``) whose results are
-bit-identical to per-chip execution on this BLAS build.
+``ReduceFramework._fat_training_config``) — population-shared seeding is
+what makes a chunk executed in any worker bit-identical to per-chip serial
+execution.  Every execution restores the same pre-trained weights first and
+results are re-ordered to population order, so serial, parallel, batched and
+resumed runs produce bit-identical results; a resumed campaign re-plans only
+the remaining jobs, and any partition of the same jobs yields the same
+per-chip values.
 """
 
 from __future__ import annotations
@@ -24,15 +35,15 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import sys
+import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.campaign.jobs import (
     ChipJob,
     build_jobs,
-    execute_job,
-    execute_jobs_batched,
-    group_jobs_by_epochs,
+    execute_job_chunk,
+    plan_job_chunks,
 )
 from repro.campaign.store import CampaignStore, campaign_fingerprint
 from repro.core.chips import ChipPopulation
@@ -50,19 +61,21 @@ PathLike = Union[str, Path]
 # cache, so initialization is instant; under ``spawn`` the context is rebuilt
 # (hitting the on-disk pre-trained-state cache when one is configured).
 _WORKER_FRAMEWORK: Optional[ReduceFramework] = None
+_WORKER_FAT_BATCH: int = 1
 
 
-def _initialize_worker(preset, disk_cache_dir: Optional[str]) -> None:
-    global _WORKER_FRAMEWORK
+def _initialize_worker(preset, disk_cache_dir: Optional[str], fat_batch: int) -> None:
+    global _WORKER_FRAMEWORK, _WORKER_FAT_BATCH
     from repro.experiments.common import ExperimentContext
 
     context = ExperimentContext.from_preset(preset, disk_cache_dir=disk_cache_dir)
     _WORKER_FRAMEWORK = context.framework()
+    _WORKER_FAT_BATCH = fat_batch
 
 
-def _execute_in_worker(job: ChipJob) -> ChipRetrainingResult:
+def _execute_chunk_in_worker(chunk: List[ChipJob]) -> List[ChipRetrainingResult]:
     assert _WORKER_FRAMEWORK is not None, "worker initializer did not run"
-    return execute_job(_WORKER_FRAMEWORK, job)
+    return execute_job_chunk(_WORKER_FRAMEWORK, chunk, fat_batch=_WORKER_FAT_BATCH)
 
 
 def _start_method() -> str:
@@ -104,6 +117,8 @@ class CampaignReport:
             f"jobs={self.jobs}",
             f"elapsed={format_duration(self.elapsed_seconds)}",
         ]
+        if self.executed:
+            parts.append(f"rate={self.chips_per_second:.2f}chips/s")
         if self.store_dir is not None:
             parts.append(f"store={self.store_dir}")
         return " ".join(parts)
@@ -128,18 +143,26 @@ class CampaignEngine:
     progress:
         Log one line per completed chip.
     chunk_size:
-        Override the number of jobs handed to a worker at a time.
+        Override the number of *plan chunks* handed to a worker per dispatch
+        (the pool ``chunksize``).  The default of 1 keeps resume granularity
+        at one batched chunk; larger values amortize IPC at the cost of
+        coarser persistence.
     disk_cache_dir:
         Forwarded to workers so spawned processes can load the pre-trained
         state from the on-disk context cache instead of re-pre-training.
     fat_batch:
         Maximum number of same-budget chips retrained together in one
-        stacked batched-FAT run on the inline (``jobs == 1``) path; ``1``
-        disables coalescing.  Results are bit-identical either way; the
-        stacked runs just share every GEMM across the batch.
+        stacked batched-FAT run — the plan chunk size.  Applies to the
+        inline path and to every worker at ``jobs > 1``; ``1`` disables
+        coalescing.  Results are bit-identical either way; the stacked runs
+        just share every GEMM across the batch.
+    heartbeat_seconds:
+        Interval of the progress heartbeat (one INFO line with completed/
+        total chips and chips/s throughput).  ``None`` disables it.
     """
 
     DEFAULT_FAT_BATCH = 8
+    DEFAULT_HEARTBEAT_SECONDS = 30.0
 
     def __init__(
         self,
@@ -151,6 +174,7 @@ class CampaignEngine:
         chunk_size: Optional[int] = None,
         disk_cache_dir: Optional[PathLike] = None,
         fat_batch: Optional[int] = None,
+        heartbeat_seconds: Optional[float] = DEFAULT_HEARTBEAT_SECONDS,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -158,6 +182,10 @@ class CampaignEngine:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if fat_batch is not None and fat_batch < 1:
             raise ValueError(f"fat_batch must be >= 1, got {fat_batch}")
+        if heartbeat_seconds is not None and heartbeat_seconds < 0:
+            raise ValueError(
+                f"heartbeat_seconds must be non-negative, got {heartbeat_seconds}"
+            )
         self.context = context
         self.jobs = int(jobs)
         self.store_base = Path(store_base) if store_base is not None else None
@@ -166,6 +194,7 @@ class CampaignEngine:
         self.chunk_size = chunk_size
         self.disk_cache_dir = str(disk_cache_dir) if disk_cache_dir is not None else None
         self.fat_batch = int(fat_batch) if fat_batch is not None else self.DEFAULT_FAT_BATCH
+        self.heartbeat_seconds = heartbeat_seconds
         self.last_report: Optional[CampaignReport] = None
 
     # -- public API ---------------------------------------------------------------
@@ -236,30 +265,66 @@ class CampaignEngine:
                 for job in pending
             ]
 
-        def record(result: ChipRetrainingResult) -> None:
-            nonlocal done
-            known[result.chip_id] = result
+        executed = 0
+        last_heartbeat = time.monotonic()
+
+        def record_chunk(results: Sequence[ChipRetrainingResult]) -> None:
+            """Group-result protocol: persist + account one chunk at a time."""
+            nonlocal done, executed, last_heartbeat
             if store is not None:
-                store.append(result)
-            done += 1
-            if self.progress:
+                store.append_many(results)
+            for result in results:
+                known[result.chip_id] = result
+                done += 1
+                executed += 1
+                if self.progress:
+                    logger.info(
+                        "campaign %s: %d/%d chip %s rate=%.3f epochs=%.3f acc=%.3f meets=%s",
+                        policy.name,
+                        done,
+                        len(job_list),
+                        result.chip_id,
+                        result.fault_rate,
+                        result.epochs_trained,
+                        result.accuracy_after,
+                        result.meets_constraint,
+                    )
+            now = time.monotonic()
+            if (
+                self.heartbeat_seconds is not None
+                and now - last_heartbeat >= self.heartbeat_seconds
+                and done < len(job_list)
+            ):
+                last_heartbeat = now
+                elapsed_so_far = max(now - started, 1e-9)
                 logger.info(
-                    "campaign %s: %d/%d chip %s rate=%.3f epochs=%.3f acc=%.3f meets=%s",
+                    "campaign %s: heartbeat %d/%d chips done (%.1f chips/s)",
                     policy.name,
                     done,
                     len(job_list),
-                    result.chip_id,
-                    result.fault_rate,
-                    result.epochs_trained,
-                    result.accuracy_after,
-                    result.meets_constraint,
+                    executed / elapsed_so_far,
                 )
 
         if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                self._execute_parallel(pending, record)
+            # Worker-aware planning: one big same-budget group still splits
+            # across all requested workers instead of starving them.
+            plan = plan_job_chunks(pending, self.fat_batch, workers=self.jobs)
+            batched_chips = sum(len(chunk) for chunk in plan if len(chunk) > 1)
+            if batched_chips:
+                logger.info(
+                    "campaign %s: planned %d chips into %d chunks, "
+                    "%d chips in stacked batched-FAT chunks (fat_batch=%d)",
+                    policy.name,
+                    len(pending),
+                    len(plan),
+                    batched_chips,
+                    self.fat_batch,
+                )
+            started = time.monotonic()
+            if self.jobs > 1 and len(plan) > 1:
+                self._execute_parallel(plan, record_chunk)
             else:
-                self._execute_inline(framework, pending, record)
+                self._execute_inline(framework, plan, record_chunk)
         elapsed = timer.stop()
 
         self.last_report = CampaignReport(
@@ -292,78 +357,61 @@ class CampaignEngine:
         """The fixed-budget baseline through the engine."""
         return self.run(population, FixedEpochPolicy(epochs))
 
-    # -- inline dispatch (batched FAT) ---------------------------------------------
+    # -- executor: inline dispatch ---------------------------------------------------
 
     def _execute_inline(
         self,
         framework,
-        pending: Sequence[ChipJob],
-        record: Callable[[ChipRetrainingResult], None],
+        plan: Sequence[List[ChipJob]],
+        record_chunk: Callable[[Sequence[ChipRetrainingResult]], None],
     ) -> None:
-        """Execute jobs in-process, coalescing same-budget groups (Step 3).
+        """Execute the plan in-process, one chunk at a time (Step 3).
 
-        Groups of at least two jobs with the same positive epoch budget run
-        through the stacked batched-FAT trainer in chunks of ``fat_batch``;
-        everything else (zero-epoch lookups, singleton budgets, or
-        ``fat_batch == 1``) takes the per-job path.  Either way the recorded
-        results are identical; only the store's line order can differ, which
-        resume reads back order-independently.  Results are recorded (and
-        persisted) after every ``fat_batch`` chunk, so a killed campaign
-        loses at most the chunk in flight rather than a whole budget group.
+        Results are recorded (and persisted) after every chunk, so a killed
+        campaign loses at most the chunk in flight rather than a whole
+        budget group.
         """
-        if self.fat_batch > 1:
-            batched = 0
-            for epochs, group in group_jobs_by_epochs(pending).items():
-                if epochs > 0 and len(group) > 1:
-                    for start in range(0, len(group), self.fat_batch):
-                        chunk = group[start:start + self.fat_batch]
-                        for result in execute_jobs_batched(
-                            framework, chunk, fat_batch=self.fat_batch
-                        ):
-                            record(result)
-                    batched += len(group)
-                else:
-                    for job in group:
-                        record(execute_job(framework, job))
-            if batched:
-                logger.info(
-                    "campaign: %d/%d chips retrained in stacked batches (fat_batch=%d)",
-                    batched,
-                    len(pending),
-                    self.fat_batch,
-                )
-        else:
-            for job in pending:
-                record(execute_job(framework, job))
+        for chunk in plan:
+            record_chunk(execute_job_chunk(framework, chunk, fat_batch=self.fat_batch))
 
-    # -- parallel dispatch ----------------------------------------------------------
+    # -- executor: parallel dispatch -------------------------------------------------
 
     def _execute_parallel(
         self,
-        pending: Sequence[ChipJob],
-        record: Callable[[ChipRetrainingResult], None],
+        plan: Sequence[List[ChipJob]],
+        record_chunk: Callable[[Sequence[ChipRetrainingResult]], None],
     ) -> None:
-        workers = min(self.jobs, len(pending))
-        chunk = self.chunk_size
-        if chunk is None:
-            # Small chunks keep the store fresh (resume granularity) while
-            # amortizing IPC over a few chips per dispatch.
-            chunk = max(1, len(pending) // (workers * 4))
+        """Dispatch whole plan chunks to a worker pool.
+
+        Each dispatch hands a worker one batched chunk (the unit of both
+        stacked-GEMM coalescing and resume granularity); the worker runs it
+        through its own framework — the population-shared FAT seed makes the
+        result independent of which process executes which chunk — and the
+        parent records the whole group as it arrives.
+        """
+        workers = min(self.jobs, len(plan))
+        pool_chunksize = self.chunk_size if self.chunk_size is not None else 1
         mp_context = multiprocessing.get_context(_start_method())
+        total_chips = sum(len(chunk) for chunk in plan)
         logger.info(
-            "campaign: dispatching %d chips across %d workers (start=%s, chunksize=%d)",
-            len(pending),
+            "campaign: dispatching %d chips in %d chunks across %d workers "
+            "(start=%s, fat_batch=%d, chunksize=%d)",
+            total_chips,
+            len(plan),
             workers,
             mp_context.get_start_method(),
-            chunk,
+            self.fat_batch,
+            pool_chunksize,
         )
         with mp_context.Pool(
             processes=workers,
             initializer=_initialize_worker,
-            initargs=(self.context.preset, self.disk_cache_dir),
+            initargs=(self.context.preset, self.disk_cache_dir, self.fat_batch),
         ) as pool:
-            for result in pool.imap_unordered(_execute_in_worker, pending, chunksize=chunk):
-                record(result)
+            for results in pool.imap_unordered(
+                _execute_chunk_in_worker, plan, chunksize=pool_chunksize
+            ):
+                record_chunk(results)
 
 
 def run_campaign(

@@ -19,6 +19,16 @@ jobs complete.  Because the seed (and therefore the mini-batch and dropout
 streams) is shared, jobs with the same epoch budget can also be *coalesced*:
 :func:`execute_jobs_batched` retrains a whole group through one stacked
 multi-chip trainer and returns exactly what per-job execution would.
+
+The planner/executor split builds on exactly that purity:
+:func:`plan_job_chunks` partitions pending jobs into same-budget *chunks* of
+at most ``fat_batch`` jobs, and :func:`execute_job_chunk` runs one chunk —
+batched when it holds several jobs, per-job otherwise.  A chunk is both the
+unit of dispatch (the campaign engine hands whole chunks to worker
+processes, so ``--jobs N`` and ``--fat-batch B`` compose) and the unit of
+resume granularity (results are persisted chunk by chunk).  Any partition of
+the same jobs yields bit-identical results, so a resumed campaign may regroup
+the remaining jobs differently without changing a single recorded value.
 """
 
 from __future__ import annotations
@@ -118,6 +128,62 @@ def group_jobs_by_epochs(jobs: Sequence[ChipJob]) -> Dict[float, List[ChipJob]]:
     for job in jobs:
         groups.setdefault(float(job.epochs), []).append(job)
     return groups
+
+
+def plan_job_chunks(
+    jobs: Sequence[ChipJob], fat_batch: int, workers: int = 1
+) -> List[List[ChipJob]]:
+    """Partition pending jobs into executor chunks (the campaign *plan*).
+
+    Jobs are grouped by retraining budget (:func:`group_jobs_by_epochs`);
+    every positive-budget group with at least two jobs is cut into batched
+    chunks of at most ``fat_batch`` jobs, which the executor retrains through
+    one stacked :class:`~repro.accelerator.batched.BatchedFaultTrainer` run
+    each.  Everything else — zero-epoch triage lookups, singleton budgets,
+    or ``fat_batch == 1`` — becomes single-job chunks on the per-job path.
+
+    ``workers`` is the dispatch parallelism the plan should be able to feed:
+    a group is chunked at ``min(fat_batch, ceil(len(group) / workers))`` so a
+    single large budget group still splits across every worker instead of
+    collapsing into one chunk (slightly smaller stacked batches in exchange
+    for keeping all requested processes busy).  ``workers=1`` (the inline
+    path) leaves ``fat_batch`` as the only cap.
+
+    Chunks preserve the within-group job order, so planning the same pending
+    jobs always yields the same chunks, and executing any plan over the same
+    jobs yields bit-identical per-chip results (the batched trainer's
+    serial-equivalence guarantee); only the completion order may differ.
+    """
+    if fat_batch < 1:
+        raise ValueError(f"fat_batch must be >= 1, got {fat_batch}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    chunks: List[List[ChipJob]] = []
+    for epochs, group in group_jobs_by_epochs(jobs).items():
+        chunk_cap = min(fat_batch, -(-len(group) // workers))
+        if chunk_cap > 1 and epochs > 0 and len(group) > 1:
+            for start in range(0, len(group), chunk_cap):
+                chunks.append(group[start:start + chunk_cap])
+        else:
+            chunks.extend([job] for job in group)
+    return chunks
+
+
+def execute_job_chunk(
+    framework: ReduceFramework,
+    chunk: Sequence[ChipJob],
+    fat_batch: int = 8,
+) -> List[ChipRetrainingResult]:
+    """Execute one plan chunk; returns results in chunk order.
+
+    Multi-job chunks run through the stacked batched trainer; single-job
+    chunks (and ``fat_batch == 1``) take the per-job path.  Either way the
+    results equal ``[execute_job(framework, job) for job in chunk]``.
+    """
+    chunk_list = list(chunk)
+    if len(chunk_list) <= 1 or fat_batch <= 1:
+        return [execute_job(framework, job) for job in chunk_list]
+    return execute_jobs_batched(framework, chunk_list, fat_batch=fat_batch)
 
 
 def execute_jobs_batched(

@@ -35,7 +35,11 @@ PathLike = Union[str, Path]
 # (previously derived per chip id), changing every recorded accuracy; bumping
 # the version changes all fingerprints so pre-existing stores are never
 # resumed against results computed under the old seed scheme.
-STORE_FORMAT_VERSION = 2
+# Version 3: training-mode BatchNorm switched to the fused analytic backward
+# (and degenerate 1x1 im2col lowerings are now materialised C-contiguously),
+# shifting last-bit training numerics for batch-norm models; old stores for
+# such presets must not be resumed against the new trajectories.
+STORE_FORMAT_VERSION = 3
 
 
 class CampaignStoreError(RuntimeError):
@@ -126,9 +130,23 @@ class CampaignStore:
 
     def append(self, result: ChipRetrainingResult) -> None:
         """Durably append one chip result (flushed + fsynced per line)."""
-        line = json.dumps(result.to_dict(), sort_keys=True)
+        self.append_many([result])
+
+    def append_many(self, results: Sequence[ChipRetrainingResult]) -> None:
+        """Durably append a whole result group with a single flush + fsync.
+
+        The group-result protocol of the campaign executor: a batched-FAT
+        chunk's results land together, so a killed campaign either has the
+        whole chunk on disk or re-runs it — and a chunk costs one fsync
+        instead of one per chip.
+        """
+        if not results:
+            return
+        payload = "".join(
+            json.dumps(result.to_dict(), sort_keys=True) + "\n" for result in results
+        )
         with self.results_path.open("a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+            handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
 

@@ -95,8 +95,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fat-batch",
         type=int,
         default=None,
-        help="max chips per stacked batched-FAT run on the inline --jobs 1 path "
-        "(default: 8; 1 disables coalescing; results are identical either way)",
+        help="max same-budget chips retrained together in one stacked batched-FAT "
+        "run; composes with --jobs N (each worker retrains a whole batch per "
+        "dispatch). Default: 8; 1 disables coalescing; results are bit-identical "
+        "either way",
     )
     parser.add_argument(
         "--cache-dir",
@@ -192,10 +194,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     set_verbosity(args.verbose)
+    # Engine-constructor (and population) arguments are validated here with
+    # parser.error — a clean usage message and exit code 2 — instead of
+    # surfacing as CampaignEngine/ChipPopulation tracebacks after the
+    # expensive context build.
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
     if args.fat_batch is not None and args.fat_batch < 1:
         parser.error("--fat-batch must be >= 1")
+    if args.chips is not None and args.chips < 1:
+        parser.error("--chips must be >= 1")
     if args.fixed_epochs < 0:
         parser.error("--fixed-epochs must be non-negative")
 

@@ -23,7 +23,6 @@ import numpy as np
 from repro import nn
 from repro.accelerator.batched import (
     BatchedFaultTrainer,
-    UnsupportedModelError,
     evaluate_chip_accuracies,
 )
 from repro.accelerator.systolic_array import SystolicArray
@@ -322,6 +321,11 @@ class ReduceFramework:
         self._restore_pretrained()
         eval_batch = self.config.effective_retraining_config().batch_size * 4
         accuracies: List[float] = []
+        # One shared-prefix lowering cache for the whole population: every
+        # chunk evaluates the same unshuffled test batches against the same
+        # pre-trained weights, so each batch is im2col-lowered exactly once
+        # regardless of how many chip chunks the population spans.
+        lowering_cache: Dict = {}
         # Masks are built (and released) chunk by chunk so peak memory is
         # bounded by ``chip_chunk`` mask sets, not the population size.
         for start in range(0, len(chip_list), chip_chunk):
@@ -336,6 +340,7 @@ class ReduceFramework:
                     mask_sets,
                     batch_size=eval_batch,
                     chip_chunk=chip_chunk,
+                    lowering_cache=lowering_cache,
                 )
             )
         return {chip.chip_id: acc for chip, acc in zip(chip_list, accuracies)}
@@ -427,8 +432,11 @@ class ReduceFramework:
         chips]`` — bit-identical results on this BLAS build — but each batch
         of up to ``fat_batch`` chips shares every GEMM of the retraining loop
         through a :class:`~repro.accelerator.batched.BatchedFaultTrainer`.
-        Falls back to the serial per-chip trainer when the model cannot be
-        stacked (e.g. training-mode batch norm).
+        Every parametric layer family stacks (including training-mode batch
+        norm, whose per-chip-fold statistics replicate the serial runs), so
+        there is no serial fallback: a genuinely unstackable custom layer
+        raises :class:`~repro.accelerator.batched.UnsupportedModelError` at
+        trainer construction.
 
         ``accuracies_before`` injects pre-computed initial accuracies (from
         :meth:`triage_population`) per chip id; missing chips are evaluated
@@ -474,30 +482,13 @@ class ReduceFramework:
                         )
                     )
                 continue
-            try:
-                trainer = BatchedFaultTrainer(
-                    self.model,
-                    mask_sets,
-                    self.bundle.train,
-                    self.bundle.test,
-                    config=self._fat_training_config(),
-                )
-            except UnsupportedModelError as error:
-                logger.info(
-                    "batched FAT unavailable (%s); retraining %d chips serially",
-                    error,
-                    len(chunk),
-                )
-                for chip in chunk:
-                    results.append(
-                        self.retrain_chip(
-                            chip,
-                            epochs,
-                            target_accuracy=target,
-                            accuracy_before=before_map.get(chip.chip_id),
-                        )
-                    )
-                continue
+            trainer = BatchedFaultTrainer(
+                self.model,
+                mask_sets,
+                self.bundle.train,
+                self.bundle.test,
+                config=self._fat_training_config(),
+            )
             before = [before_map.get(chip.chip_id) for chip in chunk]
             if any(value is None for value in before):
                 evaluated = trainer.evaluate()

@@ -47,13 +47,31 @@ _DISK_CACHE_ENV = "REPRO_CACHE_DIR"
 _DISK_CACHE_DIR: Optional[Path] = None
 
 
+# Version of the training-substrate numerics baked into cached pre-trained
+# states.  Bump whenever a change shifts training trajectories bit-for-bit
+# (the campaign STORE_FORMAT_VERSION guards recorded *results* the same way;
+# this guards the pre-trained *weights* they start from, so a warm disk
+# cache from an older build can never seed new-version campaigns).
+# Version 2: fused batch-norm backward + C-contiguous materialisation of
+# degenerate 1x1 im2col lowerings (changes vgg-style pre-training).
+TRAINING_NUMERICS_VERSION = 2
+
+
 def preset_fingerprint(preset: ExperimentPreset) -> str:
-    """Stable content fingerprint of a preset (cache key for its context)."""
+    """Stable content fingerprint of a preset (cache key for its context).
+
+    Includes :data:`TRAINING_NUMERICS_VERSION`, so pre-trained states cached
+    on disk under one substrate-numerics version are never reused once the
+    training arithmetic changes.
+    """
     from repro.utils.config import config_to_dict
     import hashlib
     import json
 
-    payload = json.dumps(config_to_dict(preset), sort_keys=True)
+    payload = json.dumps(
+        {"numerics": TRAINING_NUMERICS_VERSION, "preset": config_to_dict(preset)},
+        sort_keys=True,
+    )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 

@@ -150,13 +150,13 @@ def run_fig3(
     """Run the full Fig. 3 comparison on the given context.
 
     Each policy's campaign is dispatched through the campaign engine:
-    ``jobs`` shards the per-chip retraining across worker processes
-    (``1`` keeps the legacy serial behaviour), ``campaign_dir`` persists
-    per-chip results to resumable JSONL stores (one per policy, resumed
-    unless ``resume=False``), ``disk_cache_dir`` lets spawned workers
-    load the pre-trained state instead of re-pre-training, and ``fat_batch``
-    caps how many same-budget chips the inline ``jobs == 1`` path retrains
-    together in one stacked batched-FAT run (``1`` disables coalescing).
+    ``jobs`` shards the retraining across worker processes (``1`` executes
+    inline), ``campaign_dir`` persists per-chip results to resumable JSONL
+    stores (one per policy, resumed unless ``resume=False``),
+    ``disk_cache_dir`` lets spawned workers load the pre-trained state
+    instead of re-pre-training, and ``fat_batch`` caps how many same-budget
+    chips are retrained together in one stacked batched-FAT run — inline and
+    inside every worker alike (``1`` disables coalescing).
     """
     preset = context.preset
     chips = population if population is not None else build_population(context, num_chips)

@@ -107,7 +107,14 @@ class Conv2d(Module):
 
 
 class BatchNorm2d(Module):
-    """Batch normalisation over the channel dimension of NCHW tensors."""
+    """Batch normalisation over the channel dimension of NCHW tensors.
+
+    Training mode runs through the fused
+    :class:`~repro.nn.functional.BatchNormFunction` (one autograd node with
+    an analytic backward); the batch statistics it computes are reused for
+    the running-statistics update, so each step touches the activations
+    exactly once beyond the normalisation itself.
+    """
 
     def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
         super().__init__()
@@ -133,8 +140,8 @@ class BatchNorm2d(Module):
             eps=self.eps,
         )
         if self.training and new_mean is not None:
-            self.running_mean = new_mean.astype(np.float32)
-            self.running_var = new_var.astype(np.float32)
+            self.running_mean = np.asarray(new_mean, dtype=np.float32)
+            self.running_var = np.asarray(new_var, dtype=np.float32)
         return out
 
     def extra_repr(self) -> str:

@@ -125,6 +125,71 @@ class TestBatchedEquivalence:
             assert "forward" not in module.__dict__
 
 
+class TestLoweringCache:
+    def test_shared_cache_lowers_each_batch_once_across_chunks(
+        self, conv_setup, image_bundle, monkeypatch
+    ):
+        """evaluate_chip_accuracies shares the shared-prefix im2col across
+        chip chunks: the test set is lowered once for the whole population."""
+        import repro.accelerator.batched as batched_module
+
+        model, pretrained, _, mask_sets = conv_setup
+        calls = []
+        real = batched_module.im2col
+
+        def counting(*args, **kwargs):
+            calls.append(args[0].shape)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(batched_module, "im2col", counting)
+        batch_size = 16
+        num_batches = -(-len(image_bundle.test) // batch_size)
+        cached = evaluate_chip_accuracies(
+            model, image_bundle.test, mask_sets, batch_size=batch_size, chip_chunk=2
+        )
+        # 3 chunks x num_batches forwards, but the first-layer lowering runs
+        # only num_batches times (later chunks hit the cache); the folded
+        # second conv still lowers per chunk (its activations are per-chip).
+        first_layer_lowerings = [
+            shape for shape in calls if shape[0] == min(batch_size, len(image_bundle.test))
+        ]
+        assert len(first_layer_lowerings) == num_batches
+        # Values are identical to the uncached path.
+        uncached = evaluate_chip_accuracies(
+            model, image_bundle.test, mask_sets, batch_size=batch_size, chip_chunk=6
+        )
+        assert cached == uncached
+
+    def test_cache_respects_float_budget(self, conv_setup, image_bundle, monkeypatch):
+        """Inserts stop at the budget; results are unchanged (just uncached)."""
+        import repro.accelerator.batched as batched_module
+
+        model, _, _, mask_sets = conv_setup
+        unbounded = evaluate_chip_accuracies(
+            model, image_bundle.test, mask_sets, batch_size=16, chip_chunk=2
+        )
+        monkeypatch.setattr(batched_module, "LOWERING_CACHE_MAX_FLOATS", 0)
+        cache = {}
+        bounded = evaluate_chip_accuracies(
+            model,
+            image_bundle.test,
+            mask_sets,
+            batch_size=16,
+            chip_chunk=2,
+            lowering_cache=cache,
+        )
+        assert cache == {}  # budget of zero: nothing cached
+        assert bounded == unbounded
+
+    def test_cache_ignored_for_inputs_of_unknown_identity(self, conv_setup, image_bundle):
+        model, pretrained, _, mask_sets = conv_setup
+        cache = {}
+        evaluator = BatchedFaultEvaluator(model, mask_sets[:2], lowering_cache=cache)
+        inputs, _ = next(iter(DataLoader(image_bundle.test, batch_size=4)))
+        evaluator.evaluate_logits(inputs)
+        assert cache == {}  # evaluate_logits never caches
+
+
 class TestBatchedValidation:
     def test_empty_mask_sets_rejected(self, conv_setup):
         model = conv_setup[0]

@@ -190,6 +190,85 @@ class TestTrainerEquivalence:
             epochs=0.5,
         )
 
+    def test_batchnorm1d_model_matches_serial(self, blob_bundle):
+        def make():
+            return nn.Sequential(
+                nn.Linear(8, 16, rng=0),
+                nn.BatchNorm1d(16),
+                nn.ReLU(),
+                nn.Linear(16, blob_bundle.num_classes, rng=1),
+            )
+
+        _assert_batched_equals_serial(
+            make,
+            blob_bundle,
+            _mask_sets(make, num_chips=3),
+            TrainingConfig(learning_rate=0.05, batch_size=16, seed=3),
+            epochs=1.0,
+            checkpoints=[0.5],
+        )
+
+    def test_batchnorm2d_cnn_matches_serial(self, image_bundle):
+        """Training-mode BatchNorm2d/1d through the stacked path.
+
+        The per-chip-fold batch statistics, the fused analytic backward, the
+        per-chip running-statistics updates and the eval-mode per-chip
+        normalisation must all be bit-identical to the serial trainer —
+        state_dict comparison covers running_mean/running_var too.
+        """
+        channels = image_bundle.input_shape[0]
+
+        def make():
+            return nn.Sequential(
+                nn.Conv2d(channels, 4, 3, padding=1, bias=False, rng=0),
+                nn.BatchNorm2d(4),
+                nn.ReLU(),
+                nn.MaxPool2d(2),
+                nn.Conv2d(4, 6, 3, padding=1, bias=False, rng=1),
+                nn.BatchNorm2d(6),
+                nn.ReLU(),
+                nn.MaxPool2d(2),
+                nn.Flatten(),
+                nn.Linear(6 * 2 * 2, 8, rng=2),
+                nn.BatchNorm1d(8),
+                nn.ReLU(),
+                nn.Linear(8, image_bundle.num_classes, rng=3),
+            )
+
+        _assert_batched_equals_serial(
+            make,
+            image_bundle,
+            _mask_sets(make, num_chips=3),
+            TrainingConfig(learning_rate=0.05, batch_size=16, seed=3),
+            epochs=1.0,
+            checkpoints=[0.5],
+        )
+
+    def test_vgg11_mini_trains_through_stacked_path(self, image_bundle):
+        """The flagship training-mode-BatchNorm workload: no serial fallback.
+
+        ``vgg11_mini`` exercises the degenerate 1x1-spatial tail convolutions
+        (whose K-major lowering is layout-sensitive) on top of a BatchNorm
+        after every convolution.
+        """
+        from repro.models import vgg11_mini
+
+        def make():
+            return vgg11_mini(
+                input_shape=image_bundle.input_shape,
+                num_classes=image_bundle.num_classes,
+                seed=0,
+            )
+
+        _assert_batched_equals_serial(
+            make,
+            image_bundle,
+            _mask_sets(make, num_chips=2, rows=32, cols=32),
+            TrainingConfig(learning_rate=0.02, batch_size=16, seed=5),
+            epochs=0.5,
+            checkpoints=[0.25],
+        )
+
 
 class TestTrainerValidation:
     def test_empty_mask_sets_rejected(self, blob_bundle):
@@ -218,15 +297,29 @@ class TestTrainerValidation:
                 blob_bundle.test,
             )
 
-    def test_batchnorm_model_raises_unsupported(self, blob_bundle):
+    def test_unknown_parametric_layer_raises_unsupported(self, blob_bundle):
+        class Scale(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.weight = nn.Parameter(np.ones(8, dtype=np.float32))
+
+            def forward(self, x):
+                return x * self.weight
+
+        model = nn.Sequential(Scale(), nn.Linear(8, blob_bundle.num_classes, rng=0))
+        masks = {"1": np.zeros((blob_bundle.num_classes, 8), dtype=bool)}
+        with pytest.raises(UnsupportedModelError):
+            BatchedFaultTrainer(model, [masks], blob_bundle.train, blob_bundle.test)
+
+    def test_masked_batchnorm_layer_rejected(self, blob_bundle):
         model = nn.Sequential(
             nn.Linear(8, 16, rng=0),
             nn.BatchNorm1d(16),
             nn.ReLU(),
             nn.Linear(16, blob_bundle.num_classes, rng=1),
         )
-        masks = {"0": np.zeros((16, 8), dtype=bool)}
-        with pytest.raises(UnsupportedModelError):
+        masks = {"1": np.zeros((16,), dtype=bool)}
+        with pytest.raises(ValueError, match="batch norm"):
             BatchedFaultTrainer(model, [masks], blob_bundle.train, blob_bundle.test)
 
     def test_empty_train_loader_rejected(self):
@@ -353,6 +446,63 @@ class TestEngineCoalescing:
     def test_invalid_fat_batch_rejected(self, smoke_context):
         with pytest.raises(ValueError):
             CampaignEngine(smoke_context, fat_batch=0)
+
+    def test_jobs_workers_run_batched_groups_identically(
+        self, smoke_context, fat_population
+    ):
+        """--jobs N x --fat-batch B composes: workers execute whole stacked
+        chunks and the results stay bit-identical to serial per-job runs."""
+        policy = FixedEpochPolicy(0.25)
+        parallel_batched = CampaignEngine(smoke_context, jobs=2, fat_batch=3).run(
+            fat_population, policy
+        )
+        serial_per_job = CampaignEngine(smoke_context, jobs=1, fat_batch=1).run(
+            fat_population, policy
+        )
+        assert parallel_batched.results == serial_per_job.results
+
+    def test_eval_lowering_cache_reused_across_checkpoints(
+        self, smoke_context, monkeypatch
+    ):
+        """Per-checkpoint evaluations lower each eval batch exactly once."""
+        import repro.accelerator.batched as batched_module
+        from repro.accelerator import FaultMap, model_fault_masks
+        from repro.accelerator.batched import BatchedFaultTrainer
+
+        context = smoke_context
+        # The smoke preset is an MLP (no conv), so build a conv workload at
+        # the same scale from the context's bundle.
+        model = nn.Sequential(
+            nn.Conv2d(context.bundle.input_shape[0], 4, 3, padding=1, rng=0),
+            nn.ReLU(),
+            nn.Flatten(),
+            nn.Linear(4 * 8 * 8, context.bundle.num_classes, rng=1),
+        )
+        mask_sets = [
+            model_fault_masks(model, FaultMap.random(16, 16, 0.05 + 0.05 * i, seed=i))
+            for i in range(2)
+        ]
+        trainer = BatchedFaultTrainer(
+            model,
+            mask_sets,
+            context.bundle.train,
+            context.bundle.test,
+            config=TrainingConfig(learning_rate=0.05, batch_size=32, seed=0),
+        )
+        calls = []
+        real = batched_module.im2col_t
+
+        def counting(*args, **kwargs):
+            calls.append(args[0].shape)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(batched_module, "im2col_t", counting)
+        first = trainer.evaluate()
+        lowered_first_pass = len(calls)
+        assert lowered_first_pass > 0
+        second = trainer.evaluate()
+        assert len(calls) == lowered_first_pass  # no re-lowering
+        assert second == first
 
     def test_store_resume_with_coalescing(self, smoke_context, fat_population, tmp_path):
         policy = FixedEpochPolicy(0.25)

@@ -16,6 +16,7 @@ from repro.campaign import (
     build_jobs,
     campaign_fingerprint,
     execute_job,
+    plan_job_chunks,
 )
 from repro.cli import main
 from repro.core.chips import ChipPopulation
@@ -65,6 +66,65 @@ class TestChipJob:
         result = execute_job(framework, job)
         restored = type(result).from_dict(json.loads(json.dumps(result.to_dict())))
         assert restored == result
+
+
+class TestPlanner:
+    def _jobs(self, budgets):
+        return [
+            ChipJob(
+                chip={"chip_id": f"chip-{i}"},
+                epochs=budget,
+                target_accuracy=0.9,
+                policy_name="p",
+            )
+            for i, budget in enumerate(budgets)
+        ]
+
+    def test_same_budget_groups_chunked_by_fat_batch(self):
+        jobs = self._jobs([0.5, 0.5, 0.5, 0.5, 0.5])
+        plan = plan_job_chunks(jobs, fat_batch=2)
+        assert [len(chunk) for chunk in plan] == [2, 2, 1]
+        assert [job.chip_id for chunk in plan for job in chunk] == [
+            job.chip_id for job in jobs
+        ]
+
+    def test_zero_epoch_and_singleton_budgets_stay_per_job(self):
+        jobs = self._jobs([0.0, 0.0, 0.25, 0.5, 0.5])
+        plan = plan_job_chunks(jobs, fat_batch=8)
+        sizes = {tuple(job.chip_id for job in chunk): len(chunk) for chunk in plan}
+        # zero-epoch lookups and the lone 0.25 budget are single-job chunks;
+        # the 0.5 pair is one batched chunk.
+        assert sorted(sizes.values()) == [1, 1, 1, 2]
+        # no chip lost or duplicated
+        planned = [job.chip_id for chunk in plan for job in chunk]
+        assert sorted(planned) == sorted(job.chip_id for job in jobs)
+
+    def test_plan_splits_large_groups_across_workers(self):
+        # One 24-chip budget group at fat_batch=8 would be 3 chunks — too few
+        # for 4 workers; worker-aware planning caps chunks at ceil(24/4)=6.
+        jobs = self._jobs([0.5] * 24)
+        plan = plan_job_chunks(jobs, fat_batch=8, workers=4)
+        assert [len(chunk) for chunk in plan] == [6, 6, 6, 6]
+        # More workers than jobs in a group degrades gracefully to per-job.
+        small = plan_job_chunks(self._jobs([0.5] * 3), fat_batch=8, workers=8)
+        assert [len(chunk) for chunk in small] == [1, 1, 1]
+        with pytest.raises(ValueError):
+            plan_job_chunks(jobs, fat_batch=8, workers=0)
+
+    def test_fat_batch_one_disables_coalescing(self):
+        jobs = self._jobs([0.5, 0.5, 0.5])
+        plan = plan_job_chunks(jobs, fat_batch=1)
+        assert [len(chunk) for chunk in plan] == [1, 1, 1]
+
+    def test_planning_is_deterministic(self):
+        jobs = self._jobs([0.5, 0.25, 0.5, 0.25, 0.5])
+        first = plan_job_chunks(jobs, fat_batch=2)
+        second = plan_job_chunks(jobs, fat_batch=2)
+        assert first == second
+
+    def test_invalid_fat_batch_rejected(self):
+        with pytest.raises(ValueError):
+            plan_job_chunks(self._jobs([0.5]), fat_batch=0)
 
 
 class TestEngineEquivalence:
@@ -133,6 +193,70 @@ class TestStoreAndResume:
         ]
         assert len(recorded) == len(set(recorded)) == len(population)
 
+    def test_killed_mid_batched_chunk_resumes_under_jobs(
+        self, smoke_context, population, tmp_path
+    ):
+        """Kill/resume at chunk granularity with --jobs N x batched groups.
+
+        The store's group protocol appends a whole batched chunk per fsync;
+        a kill mid-chunk leaves the previous chunks durable plus a torn
+        fragment.  Resuming (again under --jobs N) must re-run exactly the
+        unrecorded chips — no duplicates, no losses, bit-identical results.
+        """
+        policy = FixedEpochPolicy(0.25)
+        engine = CampaignEngine(smoke_context, jobs=2, fat_batch=2, store_base=tmp_path)
+        full = engine.run(population, policy)
+        results_path = engine.last_report.store_dir / "results.jsonl"
+        lines = results_path.read_text().splitlines()
+        assert len(lines) == len(population)
+        # Simulate a kill mid-way through the second batched chunk: the
+        # first chunk's group append is durable, the next line is torn.
+        results_path.write_text(
+            "\n".join(lines[:2]) + "\n" + lines[2][: len(lines[2]) // 2]
+        )
+
+        resumed_engine = CampaignEngine(
+            smoke_context, jobs=2, fat_batch=2, store_base=tmp_path
+        )
+        resumed = resumed_engine.run(population, policy)
+        assert resumed_engine.last_report.skipped == 2
+        assert resumed_engine.last_report.executed == len(population) - 2
+        assert resumed.results == full.results
+        recorded = [
+            json.loads(line)["chip_id"]
+            for line in results_path.read_text().strip().splitlines()
+        ]
+        assert len(recorded) == len(set(recorded)) == len(population)
+
+    def test_resumed_plan_regroups_into_same_budget_groups(
+        self, framework, population
+    ):
+        jobs = build_jobs(framework, population, FixedEpochPolicy(0.25))
+        full_plan = plan_job_chunks(jobs, fat_batch=3)
+        # Chips recorded before the kill drop out; the remaining jobs regroup
+        # into the same budget groups (every chunk still single-budget, and
+        # the set of budgets is unchanged), just with fewer members.
+        pending = jobs[2:]
+        resumed_plan = plan_job_chunks(pending, fat_batch=3)
+        for chunk in full_plan + resumed_plan:
+            assert len({job.epochs for job in chunk}) == 1
+        assert {job.epochs for chunk in resumed_plan for job in chunk} == {
+            job.epochs for job in pending
+        }
+        planned = [job.chip_id for chunk in resumed_plan for job in chunk]
+        assert sorted(planned) == sorted(job.chip_id for job in pending)
+
+    def test_append_many_is_one_durable_group(self, framework, population, tmp_path):
+        jobs = build_jobs(framework, population, FixedEpochPolicy(0.0))
+        results = [execute_job(framework, job) for job in jobs]
+        store = CampaignStore.open(tmp_path, "d" * 64, manifest={"policy": "p"})
+        store.append_many(results[:3])
+        store.append_many([])  # no-op
+        store.append_many(results[3:])
+        recorded = store.completed()
+        assert list(recorded) == [result.chip_id for result in results]
+        assert list(recorded.values()) == results
+
     def test_no_resume_re_executes_everything(self, smoke_context, population, tmp_path):
         policy = FixedEpochPolicy(0.25)
         CampaignEngine(smoke_context, jobs=1, store_base=tmp_path).run(population, policy)
@@ -152,6 +276,69 @@ class TestStoreAndResume:
         store = CampaignStore.open(tmp_path, "c" * 64, manifest={"policy": "p"})
         store.results_path.write_text('{"not a result": true}\n{torn')
         assert store.completed() == {}
+
+
+class TestHeartbeat:
+    def _capture(self):
+        import logging
+
+        class ListHandler(logging.Handler):
+            def __init__(self):
+                super().__init__(level=logging.INFO)
+                self.messages = []
+
+            def emit(self, record):
+                self.messages.append(record.getMessage())
+
+        return ListHandler()
+
+    def test_heartbeat_logs_progress_and_throughput(self, smoke_context, population):
+        import logging
+
+        from repro.utils.logging import get_logger
+
+        handler = self._capture()
+        logger = get_logger("campaign.engine")
+        previous_level = logger.level
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        try:
+            engine = CampaignEngine(
+                smoke_context, jobs=1, fat_batch=1, heartbeat_seconds=0.0
+            )
+            engine.run(population, FixedEpochPolicy(0.25))
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(previous_level)
+        beats = [m for m in handler.messages if "heartbeat" in m]
+        # heartbeat_seconds=0 fires after every chunk except the last one
+        # (completion is covered by the final report line).
+        assert len(beats) == len(population) - 1
+        assert "chips/s" in beats[0]
+        final = [m for m in handler.messages if "campaign finished" in m]
+        assert final and "rate=" in final[0]
+
+    def test_heartbeat_disabled(self, smoke_context, population):
+        import logging
+
+        from repro.utils.logging import get_logger
+
+        handler = self._capture()
+        logger = get_logger("campaign.engine")
+        previous_level = logger.level
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        try:
+            engine = CampaignEngine(smoke_context, jobs=1, heartbeat_seconds=None)
+            engine.run(population, FixedEpochPolicy(0.0))
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(previous_level)
+        assert not any("heartbeat" in m for m in handler.messages)
+
+    def test_negative_heartbeat_rejected(self, smoke_context):
+        with pytest.raises(ValueError):
+            CampaignEngine(smoke_context, heartbeat_seconds=-1.0)
 
 
 class TestFingerprint:
@@ -263,3 +450,17 @@ class TestCampaignCli:
     def test_jobs_must_be_positive(self):
         with pytest.raises(SystemExit):
             main(["fig3", "--preset", "smoke", "--jobs", "0"])
+
+    def test_engine_args_validated_before_context_build(self, capsys):
+        """Bad engine-constructor args exit with a usage error (code 2), not
+        a traceback from CampaignEngine.__init__ after pre-training."""
+        for argv in (
+            ["campaign", "--preset", "smoke", "--fat-batch", "0"],
+            ["campaign", "--preset", "smoke", "--chips", "0"],
+            ["campaign", "--preset", "smoke", "--fixed-epochs", "-1"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+            err = capsys.readouterr().err
+            assert "usage:" in err

@@ -128,6 +128,75 @@ class TestBatchNorm:
         numeric = numeric_gradient(lambda arr: loss_fn(arr).item(), x0)
         np.testing.assert_allclose(x.grad, numeric, rtol=1e-4, atol=1e-5)
 
+    def test_training_mode_is_one_fused_node(self):
+        x = Tensor(RNG.standard_normal((6, 3)), requires_grad=True)
+        out, _, _ = F.batch_norm(
+            x, Tensor(np.ones(3)), Tensor(np.zeros(3)), None, None, training=True
+        )
+        assert isinstance(out._ctx, F.BatchNormFunction)
+
+    @pytest.mark.parametrize("shape", [(6, 3), (4, 3, 5, 5)])
+    def test_fused_parameter_gradients_match_numeric(self, shape):
+        x0 = RNG.standard_normal(shape)
+        gamma0 = RNG.standard_normal(shape[1]) + 1.0
+        beta0 = RNG.standard_normal(shape[1])
+        weights = RNG.standard_normal(shape)
+
+        def loss_fn(gamma_arr, beta_arr):
+            out, _, _ = F.batch_norm(
+                Tensor(x0, dtype=np.float64),
+                Tensor(gamma_arr, dtype=np.float64),
+                Tensor(beta_arr, dtype=np.float64),
+                None,
+                None,
+                training=True,
+            )
+            return (out * weights).sum()
+
+        gamma = Tensor(gamma0, requires_grad=True, dtype=np.float64)
+        beta = Tensor(beta0, requires_grad=True, dtype=np.float64)
+        loss_fn_t = F.batch_norm(
+            Tensor(x0, dtype=np.float64), gamma, beta, None, None, training=True
+        )[0]
+        (loss_fn_t * weights).sum().backward()
+        numeric_gamma = numeric_gradient(
+            lambda arr: loss_fn(arr, beta0).item(), gamma0
+        )
+        numeric_beta = numeric_gradient(
+            lambda arr: loss_fn(gamma0, arr).item(), beta0
+        )
+        np.testing.assert_allclose(gamma.grad, numeric_gamma, rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(beta.grad, numeric_beta, rtol=1e-4, atol=1e-5)
+
+    def test_4d_input_gradient_matches_numeric(self):
+        x0 = RNG.standard_normal((3, 2, 4, 4))
+        gamma0 = RNG.standard_normal(2) + 1.0
+        weights = RNG.standard_normal(x0.shape)
+
+        def loss_fn(arr):
+            out, _, _ = F.batch_norm(
+                Tensor(arr, dtype=np.float64),
+                Tensor(gamma0, dtype=np.float64),
+                Tensor(np.zeros(2), dtype=np.float64),
+                None,
+                None,
+                training=True,
+            )
+            return (out * weights).sum()
+
+        x = Tensor(x0, requires_grad=True, dtype=np.float64)
+        out, _, _ = F.batch_norm(
+            x,
+            Tensor(gamma0, dtype=np.float64),
+            Tensor(np.zeros(2), dtype=np.float64),
+            None,
+            None,
+            training=True,
+        )
+        (out * weights).sum().backward()
+        numeric = numeric_gradient(lambda arr: loss_fn(arr).item(), x0)
+        np.testing.assert_allclose(x.grad, numeric, rtol=1e-4, atol=1e-5)
+
 
 class TestDropout:
     def test_eval_mode_is_identity(self):
