@@ -13,7 +13,7 @@ import multiprocessing
 import pytest
 
 from bench_utils import run_once
-from repro.campaign import CampaignEngine
+from repro.campaign import CampaignEngine, run_strategy_sweep
 from repro.core.chips import ChipPopulation
 from repro.core.selection import FixedEpochPolicy
 
@@ -82,6 +82,70 @@ def test_bench_campaign_batched_jobsN(benchmark, fast_context, fast_population):
     campaign = run_once(benchmark, engine.run, fast_population, FixedEpochPolicy(BUDGET))
     _record_throughput(benchmark, engine)
     assert campaign.results == baseline.results
+
+
+SWEEP_STRATEGIES = "fat,fap+fat,bypass"
+
+
+def _record_sweep_throughput(benchmark, sweep):
+    for name, report in sweep.reports.items():
+        benchmark.extra_info[f"chips_per_second[{name}]"] = round(
+            report.chips_per_second, 3
+        )
+        print(f"\nmitigation sweep [{name}]: {report.describe()} "
+              f"({report.chips_per_second:.2f} chips/s)")
+
+
+def test_bench_mitigation_sweep_jobs1(benchmark, fast_context, bench_population):
+    """Multi-strategy mitigation sweep throughput at --jobs 1.
+
+    The baseline of the sweep scaling pair: three strategies (classic FAT,
+    FAP+FAT and bypass) over the same chips through one inline engine, with
+    triage shared across the same-mask strategies.  Per-strategy chips/s
+    lands in BENCH_campaign.json via extra_info.
+    """
+    sweep = run_once(
+        benchmark,
+        run_strategy_sweep,
+        fast_context,
+        bench_population,
+        FixedEpochPolicy(BUDGET),
+        SWEEP_STRATEGIES,
+        jobs=1,
+        fat_batch=FAT_BATCH,
+    )
+    _record_sweep_throughput(benchmark, sweep)
+    assert sweep.strategy_names == ["fat", "fap+fat", "bypass"]
+    assert all(
+        campaign.num_chips == len(bench_population)
+        for campaign in sweep.campaigns.values()
+    )
+
+
+def test_bench_mitigation_sweep_jobsN(benchmark, fast_context, bench_population):
+    """Multi-strategy sweep at --jobs N: workers execute whole stacked chunks
+    per strategy and every strategy's rows stay bit-identical to --jobs 1."""
+    baseline = run_strategy_sweep(
+        fast_context,
+        bench_population,
+        FixedEpochPolicy(BUDGET),
+        SWEEP_STRATEGIES,
+        jobs=1,
+        fat_batch=FAT_BATCH,
+    )
+    sweep = run_once(
+        benchmark,
+        run_strategy_sweep,
+        fast_context,
+        bench_population,
+        FixedEpochPolicy(BUDGET),
+        SWEEP_STRATEGIES,
+        jobs=PARALLEL_JOBS,
+        fat_batch=FAT_BATCH,
+    )
+    _record_sweep_throughput(benchmark, sweep)
+    for name in sweep.strategy_names:
+        assert sweep.campaign(name).results == baseline.campaign(name).results
 
 
 def test_bench_campaign_resume_is_free(benchmark, fast_context, bench_population, tmp_path_factory):

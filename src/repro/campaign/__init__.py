@@ -14,7 +14,7 @@ from repro.campaign.jobs import (
     execute_job,
     execute_job_chunk,
     execute_jobs_batched,
-    group_jobs_by_epochs,
+    group_jobs_for_batching,
     plan_job_chunks,
 )
 from repro.campaign.store import (
@@ -22,6 +22,7 @@ from repro.campaign.store import (
     CampaignStoreError,
     campaign_fingerprint,
 )
+from repro.campaign.sweep import StrategySweepResult, run_strategy_sweep
 
 __all__ = [
     "CampaignEngine",
@@ -32,9 +33,11 @@ __all__ = [
     "execute_job",
     "execute_job_chunk",
     "execute_jobs_batched",
-    "group_jobs_by_epochs",
+    "group_jobs_for_batching",
     "plan_job_chunks",
     "CampaignStore",
     "CampaignStoreError",
     "campaign_fingerprint",
+    "StrategySweepResult",
+    "run_strategy_sweep",
 ]

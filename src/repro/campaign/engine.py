@@ -49,6 +49,7 @@ from repro.campaign.store import CampaignStore, campaign_fingerprint
 from repro.core.chips import ChipPopulation
 from repro.core.reduce import CampaignResult, ChipRetrainingResult, ReduceFramework
 from repro.core.selection import FixedEpochPolicy, RetrainingPolicy
+from repro.mitigation.strategy import StrategyLike, resolve_strategy
 from repro.utils.logging import get_logger
 from repro.utils.timing import Timer, format_duration
 
@@ -199,10 +200,27 @@ class CampaignEngine:
 
     # -- public API ---------------------------------------------------------------
 
-    def run(self, population: ChipPopulation, policy: RetrainingPolicy) -> CampaignResult:
-        """Execute Step 3 for every chip under ``policy`` (Steps 1+2 given)."""
+    def run(
+        self,
+        population: ChipPopulation,
+        policy: RetrainingPolicy,
+        strategy: StrategyLike = None,
+        triage: Optional[Dict[str, float]] = None,
+    ) -> CampaignResult:
+        """Execute Step 3 for every chip under ``policy`` (Steps 1+2 given).
+
+        ``strategy`` selects the mitigation recipe every job is tagged with
+        (default: classic FAT) — the fingerprint, the store and the planner
+        all key on it, so each strategy of a sweep owns its own resumable
+        store.  ``triage`` optionally shares pre-computed (or to-be-computed)
+        ``accuracy_before`` values across runs: missing chips are evaluated
+        in one batched pass and written back into the mapping, so a sweep can
+        hand the same dict to every strategy that measures its initial
+        accuracy under the same masks.
+        """
+        strategy = resolve_strategy(strategy)
         framework = self.context.framework()
-        job_list = build_jobs(framework, population, policy)
+        job_list = build_jobs(framework, population, policy, strategy=strategy)
         target_accuracy = framework.target_accuracy
         clean_accuracy = framework.clean_accuracy
 
@@ -218,6 +236,7 @@ class CampaignEngine:
                 fingerprint,
                 manifest={
                     "policy": policy.name,
+                    "strategy": strategy.name,
                     "preset": self.context.preset.name,
                     "num_chips": len(job_list),
                     "target_accuracy": target_accuracy,
@@ -254,10 +273,15 @@ class CampaignEngine:
             # chip is B masked variants of the same pre-trained model, so one
             # multi-chip sweep replaces |pending| serial test-set passes.  The
             # values are numerically identical to the serial evaluation, and
-            # zero-epoch jobs become pure lookups for the executor.
-            triage = framework.triage_population(
-                [job.to_chip() for job in pending]
-            )
+            # zero-epoch jobs become pure lookups for the executor.  A caller-
+            # supplied ``triage`` dict is consulted first and extended in
+            # place, so sweeps share one pass among same-mask strategies.
+            triage = triage if triage is not None else {}
+            missing = [job.to_chip() for job in pending if job.chip_id not in triage]
+            if missing:
+                triage.update(
+                    framework.triage_population(missing, strategy=strategy)
+                )
             pending = [
                 job.with_accuracy_before(triage[job.chip_id])
                 if job.chip_id in triage
@@ -321,7 +345,15 @@ class CampaignEngine:
                     self.fat_batch,
                 )
             started = time.monotonic()
-            if self.jobs > 1 and len(plan) > 1:
+            # Triaged zero-epoch jobs are pure result-row lookups: spinning
+            # up a pool (whose workers rebuild a framework each) to format
+            # them would cost far more than executing them here, so
+            # non-retraining strategy campaigns always run inline.
+            all_lookups = all(
+                job.epochs == 0 and job.accuracy_before is not None
+                for job in pending
+            )
+            if self.jobs > 1 and len(plan) > 1 and not all_lookups:
                 self._execute_parallel(plan, record_chunk)
             else:
                 self._execute_inline(framework, plan, record_chunk)
@@ -347,15 +379,25 @@ class CampaignEngine:
             results=results,
         )
 
-    def run_reduce(self, population: ChipPopulation, statistic: str = "max") -> CampaignResult:
+    def run_reduce(
+        self,
+        population: ChipPopulation,
+        statistic: str = "max",
+        strategy: StrategyLike = None,
+    ) -> CampaignResult:
         """Steps 1+2+3 with the resilience-driven policy (Step 1 cached)."""
         self.context.resilience_profile()
         policy = self.context.framework().build_policy(statistic)
-        return self.run(population, policy)
+        return self.run(population, policy, strategy=strategy)
 
-    def run_fixed(self, population: ChipPopulation, epochs: float) -> CampaignResult:
+    def run_fixed(
+        self,
+        population: ChipPopulation,
+        epochs: float,
+        strategy: StrategyLike = None,
+    ) -> CampaignResult:
         """The fixed-budget baseline through the engine."""
-        return self.run(population, FixedEpochPolicy(epochs))
+        return self.run(population, FixedEpochPolicy(epochs), strategy=strategy)
 
     # -- executor: inline dispatch ---------------------------------------------------
 
@@ -423,6 +465,7 @@ def run_campaign(
     resume: bool = True,
     progress: bool = False,
     fat_batch: Optional[int] = None,
+    strategy: StrategyLike = None,
 ) -> CampaignResult:
     """One-call convenience wrapper around :class:`CampaignEngine`."""
     engine = CampaignEngine(
@@ -433,4 +476,4 @@ def run_campaign(
         progress=progress,
         fat_batch=fat_batch,
     )
-    return engine.run(population, policy)
+    return engine.run(population, policy, strategy=strategy)

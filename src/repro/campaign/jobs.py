@@ -34,16 +34,21 @@ the remaining jobs differently without changing a single recorded value.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.chips import Chip, ChipPopulation
 from repro.core.reduce import ChipRetrainingResult, ReduceFramework
 from repro.core.selection import RetrainingPolicy
+from repro.mitigation.strategy import (
+    DEFAULT_STRATEGY_NAME,
+    StrategyLike,
+    resolve_strategy,
+)
 
 
 @dataclasses.dataclass(frozen=True)
 class ChipJob:
-    """One chip's select+retrain+evaluate step, as a self-contained unit."""
+    """One chip's select+mitigate+evaluate step, as a self-contained unit."""
 
     chip: Dict[str, Any]
     epochs: float
@@ -53,6 +58,9 @@ class ChipJob:
     # triage pass; workers then skip the serial initial evaluation.  Not part
     # of the campaign fingerprint: it is derived data, not work definition.
     accuracy_before: Optional[float] = None
+    # How the chip is mitigated before/instead of spending the budget (part
+    # of the work definition, so part of the campaign fingerprint).
+    strategy: str = DEFAULT_STRATEGY_NAME
 
     def __post_init__(self) -> None:
         if self.epochs < 0:
@@ -80,6 +88,7 @@ class ChipJob:
             target_accuracy=float(data["target_accuracy"]),
             policy_name=str(data["policy_name"]),
             accuracy_before=None if accuracy_before is None else float(accuracy_before),
+            strategy=str(data.get("strategy", DEFAULT_STRATEGY_NAME)),
         )
 
 
@@ -87,21 +96,27 @@ def build_jobs(
     framework: ReduceFramework,
     population: ChipPopulation,
     policy: RetrainingPolicy,
+    strategy: StrategyLike = None,
 ) -> List[ChipJob]:
     """Resolve a policy over a population into per-chip jobs (Step 2 output).
 
     Jobs are returned in population order; the campaign engine preserves that
     order in its results regardless of completion order, so serial and
-    parallel runs are directly comparable.
+    parallel runs are directly comparable.  ``strategy`` tags every job and
+    clamps the budget to what the strategy actually spends (zero for
+    non-retraining strategies and for bypassable chips under ``bypass+fat``),
+    so the planner groups jobs by the work they really represent.
     """
+    resolved = resolve_strategy(strategy)
     amounts = policy.epochs_for_population(population)
     target = framework.target_accuracy
     return [
         ChipJob(
             chip=chip.to_dict(),
-            epochs=float(amounts[chip.chip_id]),
+            epochs=resolved.effective_epochs(float(amounts[chip.chip_id]), chip.fault_map),
             target_accuracy=target,
             policy_name=policy.name,
+            strategy=resolved.name,
         )
         for chip in population
     ]
@@ -114,19 +129,23 @@ def execute_job(framework: ReduceFramework, job: ChipJob) -> ChipRetrainingResul
         job.epochs,
         target_accuracy=job.target_accuracy,
         accuracy_before=job.accuracy_before,
+        strategy=job.strategy,
     )
 
 
-def group_jobs_by_epochs(jobs: Sequence[ChipJob]) -> Dict[float, List[ChipJob]]:
-    """Group jobs by their retraining budget (insertion-ordered).
+def group_jobs_for_batching(
+    jobs: Sequence[ChipJob],
+) -> Dict[Tuple[float, str], List[ChipJob]]:
+    """Group jobs by ``(budget, strategy)`` (insertion-ordered).
 
-    Groups whose budget is positive and which hold more than one job are the
-    candidates for batched multi-chip execution; zero-epoch jobs are pure
-    triage lookups and stay on the per-job path.
+    A stacked batched-FAT run shares one mini-batch stream and one set of
+    stacked keep-multipliers, so only jobs that agree on *both* the budget
+    and the mitigation strategy may coalesce — a multi-strategy sweep's jobs
+    partition cleanly along this key.
     """
-    groups: Dict[float, List[ChipJob]] = {}
+    groups: Dict[Tuple[float, str], List[ChipJob]] = {}
     for job in jobs:
-        groups.setdefault(float(job.epochs), []).append(job)
+        groups.setdefault((float(job.epochs), job.strategy), []).append(job)
     return groups
 
 
@@ -135,7 +154,7 @@ def plan_job_chunks(
 ) -> List[List[ChipJob]]:
     """Partition pending jobs into executor chunks (the campaign *plan*).
 
-    Jobs are grouped by retraining budget (:func:`group_jobs_by_epochs`);
+    Jobs are grouped by ``(budget, strategy)`` (:func:`group_jobs_for_batching`);
     every positive-budget group with at least two jobs is cut into batched
     chunks of at most ``fat_batch`` jobs, which the executor retrains through
     one stacked :class:`~repro.accelerator.batched.BatchedFaultTrainer` run
@@ -159,7 +178,7 @@ def plan_job_chunks(
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     chunks: List[List[ChipJob]] = []
-    for epochs, group in group_jobs_by_epochs(jobs).items():
+    for (epochs, _strategy), group in group_jobs_for_batching(jobs).items():
         chunk_cap = min(fat_batch, -(-len(group) // workers))
         if chunk_cap > 1 and epochs > 0 and len(group) > 1:
             for start in range(0, len(group), chunk_cap):
@@ -195,19 +214,25 @@ def execute_jobs_batched(
 
     Returns results in job order, bit-identical (on this BLAS build) to
     ``[execute_job(framework, job) for job in jobs]``.  All jobs must share
-    the same ``epochs`` and ``target_accuracy``.
+    the same ``epochs``, ``target_accuracy`` and ``strategy``.
     """
     job_list = list(jobs)
     if not job_list:
         return []
     epochs = job_list[0].epochs
     target = job_list[0].target_accuracy
+    strategy = job_list[0].strategy
     for job in job_list[1:]:
-        if job.epochs != epochs or job.target_accuracy != target:
+        if (
+            job.epochs != epochs
+            or job.target_accuracy != target
+            or job.strategy != strategy
+        ):
             raise ValueError(
-                "batched execution requires jobs with identical epochs and target "
-                f"(got epochs {job.epochs} vs {epochs}, target "
-                f"{job.target_accuracy} vs {target})"
+                "batched execution requires jobs with identical epochs, target "
+                f"and strategy (got epochs {job.epochs} vs {epochs}, target "
+                f"{job.target_accuracy} vs {target}, strategy "
+                f"{job.strategy!r} vs {strategy!r})"
             )
     accuracies_before = {
         job.chip_id: job.accuracy_before
@@ -220,4 +245,5 @@ def execute_jobs_batched(
         target_accuracy=target,
         accuracies_before=accuracies_before,
         fat_batch=fat_batch,
+        strategy=strategy,
     )

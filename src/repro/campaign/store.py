@@ -39,7 +39,11 @@ PathLike = Union[str, Path]
 # (and degenerate 1x1 im2col lowerings are now materialised C-contiguously),
 # shifting last-bit training numerics for batch-norm models; old stores for
 # such presets must not be resumed against the new trajectories.
-STORE_FORMAT_VERSION = 3
+# Version 4: campaigns became strategy-tagged (mitigation strategies as a
+# first-class axis): every job's fingerprint payload now carries its
+# mitigation strategy and every stored result records one, so a version-2/3
+# store can never resume into (or be resumed by) a strategy-tagged campaign.
+STORE_FORMAT_VERSION = 4
 
 
 class CampaignStoreError(RuntimeError):
@@ -56,14 +60,18 @@ def campaign_fingerprint(
 
     Two campaigns share a fingerprint exactly when re-running one can safely
     reuse the other's per-chip results: the experiment inputs, the resolved
-    accuracy target and every chip's fault map and retraining amount agree.
+    accuracy target and every chip's fault map, retraining amount and
+    mitigation strategy agree.
     """
     payload = {
         "version": STORE_FORMAT_VERSION,
         "preset": config_to_dict(preset),
         "policy": str(policy_name),
         "target_accuracy": float(target_accuracy),
-        "jobs": [{"chip": job.chip, "epochs": job.epochs} for job in jobs],
+        "jobs": [
+            {"chip": job.chip, "epochs": job.epochs, "strategy": job.strategy}
+            for job in jobs
+        ],
     }
     digest = hashlib.sha256(json.dumps(payload, sort_keys=True).encode("utf-8"))
     return digest.hexdigest()

@@ -6,6 +6,7 @@ the figures are built from, e.g.::
     repro-reduce fig2a    --preset fast
     repro-reduce fig3     --preset fast --chips 24 --jobs 4
     repro-reduce campaign --preset fast --chips 24 --jobs 4 --campaign-dir campaigns
+    repro-reduce compare  --preset fast --strategies fat,fap,fam+fat,bypass --jobs 4
     repro-reduce all      --preset smoke --output results.json
 
 The ``campaign`` command runs a single retraining campaign through the
@@ -13,6 +14,12 @@ parallel campaign engine: per-chip results are persisted to a resumable JSONL
 store under ``--campaign-dir``, so re-running the same command skips every
 chip that already completed.  ``fig3`` and ``all`` accept the same ``--jobs``
 and ``--campaign-dir`` flags (defaulting to the serial, in-memory behaviour).
+
+The ``compare`` command sweeps one chip population through several mitigation
+strategies (``--strategies fat,fap,fap+fat,fam+fat,bypass,bypass+fat,none``)
+and prints the per-strategy comparison table — accuracy recovered, epochs
+spent, energy/timing overhead — plus the Pareto-optimal strategies.  Each
+strategy's campaign is its own resumable store under ``--campaign-dir``.
 
 The CLI is a thin wrapper over :mod:`repro.experiments` and
 :mod:`repro.campaign`; everything it does can also be driven from Python
@@ -34,10 +41,12 @@ from repro.experiments import (
     available_presets,
     build_population,
     get_preset,
+    run_compare,
     run_fig2a,
     run_fig2b,
     run_fig3,
 )
+from repro.mitigation.strategy import available_strategies, parse_strategy, parse_strategy_list
 from repro.utils.logging import set_verbosity
 
 
@@ -48,7 +57,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command",
-        choices=["fig2a", "fig2b", "fig3", "campaign", "all", "info"],
+        choices=["fig2a", "fig2b", "fig3", "campaign", "compare", "all", "info"],
         help="which experiment to run ('info' prints the preset summary)",
     )
     parser.add_argument(
@@ -78,7 +87,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--policy",
         default="reduce-max",
         choices=["reduce-max", "reduce-mean", "fixed"],
-        help="retraining policy for the 'campaign' command (default: reduce-max)",
+        help="retraining policy for the 'campaign'/'compare' commands (default: reduce-max)",
+    )
+    parser.add_argument(
+        "--strategy",
+        default="fat",
+        help="mitigation strategy for the 'campaign' command: a '+'-separated "
+        f"spec such as {', '.join(available_strategies())} (default: fat)",
+    )
+    parser.add_argument(
+        "--strategies",
+        default="fat,fap,fam+fat,bypass",
+        help="comma-separated mitigation strategies for the 'compare' command "
+        "(default: fat,fap,fam+fat,bypass)",
     )
     parser.add_argument(
         "--fixed-epochs",
@@ -163,10 +184,10 @@ def _run_campaign(context: ExperimentContext, args: argparse.Namespace) -> Dict[
         fat_batch=args.fat_batch,
     )
     if args.policy == "fixed":
-        result = engine.run_fixed(population, args.fixed_epochs)
+        result = engine.run_fixed(population, args.fixed_epochs, strategy=args.strategy)
     else:
         statistic = args.policy.split("-", 1)[1]
-        result = engine.run_reduce(population, statistic=statistic)
+        result = engine.run_reduce(population, statistic=statistic, strategy=args.strategy)
     report = engine.last_report
 
     print(campaign_summary_table([result]))
@@ -176,6 +197,7 @@ def _run_campaign(context: ExperimentContext, args: argparse.Namespace) -> Dict[
         print(f"[repro-reduce] resumed: {report.skipped} chip(s) loaded from the store, "
               f"{report.executed} executed")
     payload: Dict[str, Any] = {"figure": "campaign", **result.to_dict()}
+    payload["strategy"] = parse_strategy(args.strategy).name
     payload["report"] = {
         "policy": report.policy_name,
         "total_chips": report.total_chips,
@@ -185,6 +207,42 @@ def _run_campaign(context: ExperimentContext, args: argparse.Namespace) -> Dict[
         "elapsed_seconds": report.elapsed_seconds,
         "fingerprint": report.fingerprint,
         "store_dir": str(report.store_dir) if report.store_dir is not None else None,
+    }
+    return payload
+
+
+def _run_compare(context: ExperimentContext, args: argparse.Namespace) -> Dict[str, Any]:
+    """The 'compare' command: one population through K mitigation strategies."""
+    store_base = args.campaign_dir if args.campaign_dir is not None else Path("campaigns")
+    result = run_compare(
+        context,
+        args.strategies,
+        num_chips=args.chips,
+        policy_name=args.policy,
+        fixed_epochs=args.fixed_epochs,
+        jobs=args.jobs,
+        campaign_dir=store_base,
+        resume=not args.no_resume,
+        progress=True,
+        fat_batch=args.fat_batch,
+        disk_cache_dir=args.cache_dir,
+    )
+    print(result.table())
+    print()
+    print("Pareto-optimal strategies:", ", ".join(result.pareto_strategies()))
+    reports = result.sweep.reports
+    for name in result.strategy_names:
+        print(f"[repro-reduce] {name}: {reports[name].describe()}")
+    payload: Dict[str, Any] = {"figure": "compare", **result.to_dict()}
+    payload["reports"] = {
+        name: {
+            "executed": report.executed,
+            "skipped": report.skipped,
+            "elapsed_seconds": report.elapsed_seconds,
+            "fingerprint": report.fingerprint,
+            "store_dir": str(report.store_dir) if report.store_dir is not None else None,
+        }
+        for name, report in reports.items()
     }
     return payload
 
@@ -206,6 +264,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--chips must be >= 1")
     if args.fixed_epochs < 0:
         parser.error("--fixed-epochs must be non-negative")
+    try:
+        parse_strategy(args.strategy)
+        parse_strategy_list(args.strategies)
+    except ValueError as error:
+        parser.error(str(error))
 
     preset = get_preset(args.preset)
     if args.command == "info":
@@ -228,6 +291,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     payloads = []
     if args.command == "campaign":
         payloads.append(_run_campaign(context, args))
+    elif args.command == "compare":
+        payloads.append(_run_compare(context, args))
     else:
         commands = ["fig2a", "fig2b", "fig3"] if args.command == "all" else [args.command]
         for command in commands:

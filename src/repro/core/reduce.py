@@ -32,9 +32,18 @@ from repro.core.profiles import ResilienceProfile
 from repro.core.resilience import ResilienceAnalyzer, ResilienceConfig
 from repro.core.selection import FixedEpochPolicy, ResilienceDrivenPolicy, RetrainingPolicy
 from repro.data.synthetic import DatasetBundle
-from repro.mitigation.fap import build_fap_masks
+from repro.mitigation.strategy import (
+    DEFAULT_STRATEGY_NAME,
+    StrategyLike,
+    resolve_strategy,
+)
 from repro.nn.serialization import clone_state_dict
-from repro.training import Trainer, TrainingConfig, evaluate_accuracy
+from repro.training import (
+    Trainer,
+    TrainingConfig,
+    enforce_weight_masks,
+    evaluate_accuracy,
+)
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive_seed
 
@@ -57,6 +66,9 @@ class ChipRetrainingResult:
     accuracy_after: float
     meets_constraint: bool
     masked_weight_fraction: float
+    # The mitigation strategy the chip was prepared with ("fat" = the
+    # classic FAP-masks-plus-retraining flow of the original campaigns).
+    strategy: str = DEFAULT_STRATEGY_NAME
 
     @property
     def accuracy_recovered(self) -> float:
@@ -76,6 +88,7 @@ class ChipRetrainingResult:
             accuracy_after=float(data["accuracy_after"]),
             meets_constraint=bool(data["meets_constraint"]),
             masked_weight_fraction=float(data["masked_weight_fraction"]),
+            strategy=str(data.get("strategy", DEFAULT_STRATEGY_NAME)),
         )
 
 
@@ -182,6 +195,7 @@ def _build_chip_result(
     accuracy_before: float,
     accuracy_after: float,
     target: float,
+    strategy: str = DEFAULT_STRATEGY_NAME,
 ) -> ChipRetrainingResult:
     """Assemble one chip's result row (shared by the serial and batched paths)."""
     masked = sum(int(mask.sum()) for mask in masks.values())
@@ -195,6 +209,7 @@ def _build_chip_result(
         accuracy_after=accuracy_after,
         meets_constraint=accuracy_after >= target - 1e-12,
         masked_weight_fraction=masked / total if total else 0.0,
+        strategy=strategy,
     )
 
 
@@ -304,13 +319,17 @@ class ReduceFramework:
         self,
         chips: Iterable[Chip],
         chip_chunk: int = 16,
+        strategy: StrategyLike = None,
     ) -> Dict[str, float]:
         """Pre-retraining accuracy of every chip, in batched multi-chip passes.
 
         This is the "accuracy checkpoint" each retraining run would otherwise
         evaluate serially (``accuracy_before`` in the per-chip results): the
-        pre-trained model under each chip's FAP masks.  All chips share the
-        pre-trained weights and differ only in their masks, so a
+        pre-trained model under each chip's masks.  ``strategy`` selects how
+        those masks are built (plain FAP masks by default; FAM strategies
+        measure under their permuted masks — bypass strategies measure under
+        the plain masks, their *pre-mitigation* faulty accuracy).  All chips
+        share the pre-trained weights and differ only in their masks, so a
         :class:`~repro.accelerator.batched.BatchedFaultEvaluator` computes B
         of them per forward sweep.  Results are numerically identical to the
         serial per-chip evaluation.
@@ -318,6 +337,7 @@ class ReduceFramework:
         chip_list = list(chips)
         if not chip_list:
             return {}
+        strategy = resolve_strategy(strategy)
         self._restore_pretrained()
         eval_batch = self.config.effective_retraining_config().batch_size * 4
         accuracies: List[float] = []
@@ -330,7 +350,7 @@ class ReduceFramework:
         # bounded by ``chip_chunk`` mask sets, not the population size.
         for start in range(0, len(chip_list), chip_chunk):
             mask_sets = [
-                build_fap_masks(self.model, chip.fault_map)
+                strategy.chip_masks(self.model, chip.fault_map)
                 for chip in chip_list[start:start + chip_chunk]
             ]
             accuracies.extend(
@@ -368,8 +388,9 @@ class ReduceFramework:
         return_state: bool = False,
         target_accuracy: Optional[float] = None,
         accuracy_before: Optional[float] = None,
+        strategy: StrategyLike = None,
     ) -> Union[ChipRetrainingResult, tuple]:
-        """Retrain the pre-trained model for one chip's fault map.
+        """Mitigate (and possibly retrain) the pre-trained model for one chip.
 
         The framework model is restored to its pre-trained weights first, so
         repeated calls are independent.  With ``return_state=True`` the
@@ -382,12 +403,42 @@ class ReduceFramework:
         to the serial evaluation) so the per-chip run skips the initial
         test-set sweep; zero-epoch chips then need no training machinery at
         all.
+
+        ``strategy`` selects the mitigation recipe (default: classic FAT).
+        Non-retraining strategies clamp the budget to zero; FAM strategies
+        retrain under saliency-permuted masks; bypass strategies return the
+        clean accuracy for bypassable chips (the shrunk array has no faults)
+        and fall back to FAP(+FAT, if the strategy retrains) otherwise.
         """
         if epochs < 0:
             raise ValueError("epochs must be non-negative")
+        strategy = resolve_strategy(strategy)
         target = target_accuracy if target_accuracy is not None else self.target_accuracy
         self._restore_pretrained()
-        masks = build_fap_masks(self.model, chip.fault_map)
+        if strategy.bypass and strategy.bypass_plan(chip.fault_map) is not None:
+            # Bypassable chip: the surviving PEs form a fault-free array, so
+            # the shipped DNN is the unmodified pre-trained model (no weights
+            # pruned, nothing retrained).  ``accuracy_before`` remains the
+            # chip's pre-mitigation faulty accuracy (under the plain masks,
+            # which are only built when triage has not measured it already).
+            if accuracy_before is None:
+                masks = strategy.chip_masks(self.model, chip.fault_map)
+                enforce_weight_masks(self.model, masks)
+                accuracy_before = evaluate_accuracy(
+                    self.model,
+                    self.bundle.test,
+                    batch_size=self.config.effective_retraining_config().batch_size * 4,
+                )
+                self._restore_pretrained()
+            result = _build_chip_result(
+                chip, {}, 0.0, 0.0, accuracy_before, self.clean_accuracy, target,
+                strategy=strategy.name,
+            )
+            if return_state:
+                return result, clone_state_dict(self.model.state_dict())
+            return result
+        masks = strategy.chip_masks(self.model, chip.fault_map)
+        epochs = strategy.effective_epochs(epochs, chip.fault_map)
         if epochs > 0 or return_state or accuracy_before is None:
             training_config = self._fat_training_config()
             trainer = Trainer(
@@ -412,7 +463,8 @@ class ReduceFramework:
             accuracy_after = accuracy_before
             epochs_trained = 0.0
         result = _build_chip_result(
-            chip, masks, epochs, epochs_trained, accuracy_before, accuracy_after, target
+            chip, masks, epochs, epochs_trained, accuracy_before, accuracy_after,
+            target, strategy=strategy.name,
         )
         if return_state:
             return result, clone_state_dict(self.model.state_dict())
@@ -425,8 +477,9 @@ class ReduceFramework:
         target_accuracy: Optional[float] = None,
         accuracies_before: Optional[Dict[str, float]] = None,
         fat_batch: int = DEFAULT_FAT_BATCH,
+        strategy: StrategyLike = None,
     ) -> List[ChipRetrainingResult]:
-        """Retrain several chips with the same epoch budget in stacked batches.
+        """Mitigate several chips under one strategy/budget in stacked batches.
 
         Equivalent to ``[self.retrain_chip(chip, epochs, ...) for chip in
         chips]`` — bit-identical results on this BLAS build — but each batch
@@ -441,21 +494,75 @@ class ReduceFramework:
         ``accuracies_before`` injects pre-computed initial accuracies (from
         :meth:`triage_population`) per chip id; missing chips are evaluated
         in one batched pass before training.
+
+        ``strategy`` prepares each chip exactly like the serial path: a
+        strategy's masks are just another per-chip mask set stacked into the
+        batched trainer's keep-multipliers, so FAP/FAM prune masks ride the
+        same machinery as plain fault masks.  Bypassable chips under a bypass
+        strategy never enter training (their accuracy is preserved by the
+        shrunk array); the rest of the batch trains normally.
         """
         if epochs < 0:
             raise ValueError("epochs must be non-negative")
         if fat_batch < 1:
             raise ValueError(f"fat_batch must be >= 1, got {fat_batch}")
+        strategy = resolve_strategy(strategy)
         chip_list = list(chips)
         if not chip_list:
             return []
         target = target_accuracy if target_accuracy is not None else self.target_accuracy
         before_map = accuracies_before or {}
-        results: List[ChipRetrainingResult] = []
-        for start in range(0, len(chip_list), fat_batch):
-            chunk = chip_list[start:start + fat_batch]
+        eval_batch = self.config.effective_retraining_config().batch_size * 4
+        results: List[Optional[ChipRetrainingResult]] = [None] * len(chip_list)
+
+        # Bypassable chips are satisfied by the shrunk array alone: their
+        # result is fully determined once the pre-mitigation accuracy is
+        # known, so they are peeled off before any stacked training.
+        if strategy.bypass:
+            bypassed = [
+                index for index, chip in enumerate(chip_list)
+                if strategy.bypass_plan(chip.fault_map) is not None
+            ]
+            bypassed_set = set(bypassed)
+            trainable = [
+                index for index in range(len(chip_list)) if index not in bypassed_set
+            ]
+        else:
+            bypassed = []
+            trainable = list(range(len(chip_list)))
+        if bypassed:
+            before = [before_map.get(chip_list[index].chip_id) for index in bypassed]
+            missing = [pos for pos, value in enumerate(before) if value is None]
+            if missing:
+                self._restore_pretrained()
+                mask_sets = [
+                    strategy.chip_masks(self.model, chip_list[bypassed[pos]].fault_map)
+                    for pos in missing
+                ]
+                evaluated = evaluate_chip_accuracies(
+                    self.model,
+                    self.bundle.test,
+                    mask_sets,
+                    batch_size=eval_batch,
+                    chip_chunk=fat_batch,
+                )
+                for position, pos in enumerate(missing):
+                    before[pos] = evaluated[position]
+            clean = self.clean_accuracy
+            for pos, index in enumerate(bypassed):
+                results[index] = _build_chip_result(
+                    chip_list[index], {}, 0.0, 0.0, before[pos], clean, target,
+                    strategy=strategy.name,
+                )
+
+        # Non-retraining strategies spend no budget; bypass-infeasible chips
+        # of a retraining bypass strategy fall back to the full FAT budget.
+        epochs = float(epochs) if strategy.retrain else 0.0
+        for start in range(0, len(trainable), fat_batch):
+            indices = trainable[start:start + fat_batch]
+            chunk = [chip_list[index] for index in indices]
             self._restore_pretrained()
-            mask_sets = [build_fap_masks(self.model, chip.fault_map) for chip in chunk]
+            mask_sets = [strategy.chip_masks(self.model, chip.fault_map) for chip in chunk]
             if epochs == 0:
                 # No training requested: any missing initial accuracy comes
                 # from the forward-only batched evaluator (identical to the
@@ -464,7 +571,6 @@ class ReduceFramework:
                 before = [before_map.get(chip.chip_id) for chip in chunk]
                 missing = [i for i, value in enumerate(before) if value is None]
                 if missing:
-                    eval_batch = self.config.effective_retraining_config().batch_size * 4
                     evaluated = evaluate_chip_accuracies(
                         self.model,
                         self.bundle.test,
@@ -474,12 +580,11 @@ class ReduceFramework:
                     )
                     for position, index in enumerate(missing):
                         before[index] = evaluated[position]
-                for index, chip in enumerate(chunk):
-                    results.append(
-                        _build_chip_result(
-                            chip, mask_sets[index], 0.0, 0.0,
-                            before[index], before[index], target,
-                        )
+                for position, index in enumerate(indices):
+                    results[index] = _build_chip_result(
+                        chunk[position], mask_sets[position], 0.0, 0.0,
+                        before[position], before[position], target,
+                        strategy=strategy.name,
                     )
                 continue
             trainer = BatchedFaultTrainer(
@@ -497,15 +602,14 @@ class ReduceFramework:
                     for index, value in enumerate(before)
                 ]
             histories = trainer.train(epochs, include_initial=False)
-            for index, chip in enumerate(chunk):
-                results.append(
-                    _build_chip_result(
-                        chip, mask_sets[index], epochs,
-                        histories[index].total_epochs, before[index],
-                        histories[index].final_accuracy, target,
-                    )
+            for position, index in enumerate(indices):
+                results[index] = _build_chip_result(
+                    chunk[position], mask_sets[position], epochs,
+                    histories[position].total_epochs, before[position],
+                    histories[position].final_accuracy, target,
+                    strategy=strategy.name,
                 )
-        return results
+        return list(results)
 
     def retrain_population(
         self,
@@ -514,6 +618,7 @@ class ReduceFramework:
         progress: bool = False,
         batched: bool = True,
         fat_batch: int = DEFAULT_FAT_BATCH,
+        strategy: StrategyLike = None,
     ) -> CampaignResult:
         """Run Step 3 for every chip under an arbitrary retraining policy.
 
@@ -522,14 +627,23 @@ class ReduceFramework:
         ``batched=True`` (the default) chips whose Step-2 budgets agree are
         then retrained together through the stacked batched-FAT path, which
         is bit-identical to the serial per-chip loop on this BLAS build.
+        ``strategy`` selects the mitigation recipe applied before/instead of
+        retraining (default: classic FAT).
         """
+        strategy = resolve_strategy(strategy)
         amounts = policy.epochs_for_population(population)
-        triage = self.triage_population(population)
+        effective = {
+            chip.chip_id: strategy.effective_epochs(
+                float(amounts[chip.chip_id]), chip.fault_map
+            )
+            for chip in population
+        }
+        triage = self.triage_population(population, strategy=strategy)
         by_id: Dict[str, ChipRetrainingResult] = {}
         if batched:
             groups: Dict[float, List[Chip]] = {}
             for chip in population:
-                groups.setdefault(float(amounts[chip.chip_id]), []).append(chip)
+                groups.setdefault(effective[chip.chip_id], []).append(chip)
             for epochs, chips in groups.items():
                 if epochs > 0 and len(chips) > 1:
                     for result in self.retrain_chips_batched(
@@ -537,6 +651,7 @@ class ReduceFramework:
                         epochs,
                         accuracies_before=triage,
                         fat_batch=fat_batch,
+                        strategy=strategy,
                     ):
                         by_id[result.chip_id] = result
         results: List[ChipRetrainingResult] = []
@@ -545,8 +660,9 @@ class ReduceFramework:
             if result is None:
                 result = self.retrain_chip(
                     chip,
-                    amounts[chip.chip_id],
+                    effective[chip.chip_id],
                     accuracy_before=triage.get(chip.chip_id),
+                    strategy=strategy,
                 )
             results.append(result)
             if progress:

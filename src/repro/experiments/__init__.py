@@ -20,6 +20,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.fig2 import Fig2aResult, Fig2bResult, run_fig2a, run_fig2b
 from repro.experiments.fig3 import Fig3Result, build_population, run_fig3
+from repro.experiments.compare import CompareResult, run_compare
 
 __all__ = [
     "DatasetSpec",
@@ -43,4 +44,6 @@ __all__ = [
     "Fig3Result",
     "build_population",
     "run_fig3",
+    "CompareResult",
+    "run_compare",
 ]

@@ -7,7 +7,10 @@ These are the baselines / building blocks the Reduce framework orchestrates:
 * :mod:`repro.mitigation.fam` — Fault-Aware Mapping (SalvageDNN-style
   saliency-driven column permutation before pruning),
 * :mod:`repro.mitigation.fat` — Fault-Aware Training (retraining with masks
-  enforced), whose cost Reduce minimises.
+  enforced), whose cost Reduce minimises,
+* :mod:`repro.mitigation.strategy` — mitigation *strategies* (``fat``,
+  ``fap``, ``fam+fat``, ``bypass+fat``, ...) as a first-class, sweepable
+  campaign axis combining the techniques above with PE bypass.
 """
 
 from repro.mitigation.saliency import (
@@ -26,8 +29,24 @@ from repro.mitigation.fam import (
 )
 from repro.mitigation.fat import FatResult, FaultAwareTrainer, fault_aware_retrain
 from repro.mitigation.calibration import recalibrate_batchnorm, reset_batchnorm_stats
+from repro.mitigation.strategy import (
+    DEFAULT_STRATEGY_NAME,
+    MitigationStrategy,
+    available_strategies,
+    compose_masks,
+    parse_strategy,
+    parse_strategy_list,
+    resolve_strategy,
+)
 
 __all__ = [
+    "DEFAULT_STRATEGY_NAME",
+    "MitigationStrategy",
+    "available_strategies",
+    "compose_masks",
+    "parse_strategy",
+    "parse_strategy_list",
+    "resolve_strategy",
     "recalibrate_batchnorm",
     "reset_batchnorm_stats",
     "magnitude_saliency",

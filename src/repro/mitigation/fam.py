@@ -25,7 +25,7 @@ from repro.accelerator.mapping import (
 )
 from repro.accelerator.systolic_array import SystolicArray
 from repro.mitigation.saliency import output_channel_saliency
-from repro.training import apply_weight_masks
+from repro.training import enforce_weight_masks
 
 MaskDict = Dict[str, np.ndarray]
 PermutationDict = Dict[str, np.ndarray]
@@ -145,7 +145,9 @@ def apply_fam(
     masked_saliency = _total_masked_saliency(model, masks, metric)
     baseline_saliency = _total_masked_saliency(model, baseline_masks, metric)
     if prune:
-        apply_weight_masks(model, masks)
+        # Same construction-time keep-multiplier path as the trainers (and
+        # apply_fap), so FAM pruning cannot drift from FAT enforcement.
+        enforce_weight_masks(model, masks)
     return FamResult(
         masks=masks,
         permutations=permutations,

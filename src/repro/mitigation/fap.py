@@ -18,7 +18,7 @@ from repro import nn
 from repro.accelerator.fault_map import FaultMap
 from repro.accelerator.mapping import masked_weight_fraction, model_fault_masks
 from repro.accelerator.systolic_array import SystolicArray
-from repro.training import apply_weight_masks
+from repro.training import enforce_weight_masks, resolve_masked_parameters
 
 MaskDict = Dict[str, np.ndarray]
 
@@ -58,9 +58,13 @@ def apply_fap(
 
     The weights selected by the fault map are zeroed and the masks are
     returned so that fault-aware training can keep them clamped at zero.
+    Masks are resolved and enforced through the same construction-time
+    :func:`~repro.training.resolve_masked_parameters` path (in-place float32
+    keep-multipliers) the serial and batched trainers use, so pruning here
+    and mask enforcement during FAT are bit-identical and cannot drift.
     """
     masks = build_fap_masks(model, fault_map_or_array, column_permutations)
-    apply_weight_masks(model, masks)
+    enforce_weight_masks(model, masks)
     per_layer = {
         name: (float(mask.sum()) / mask.size if mask.size else 0.0) for name, mask in masks.items()
     }
@@ -72,13 +76,20 @@ def apply_fap(
 
 
 def verify_masks_enforced(model: nn.Module, masks: MaskDict, atol: float = 0.0) -> bool:
-    """Check that every masked weight of ``model`` is (still) zero."""
-    modules = dict(model.named_modules())
-    for name, mask in masks.items():
-        module = modules.get(name)
-        if module is None or getattr(module, "weight", None) is None:
-            return False
-        values = module.weight.data[mask]
+    """Check that every masked weight of ``model`` is (still) zero.
+
+    Masks resolve to live weight tensors through the trainers'
+    :func:`~repro.training.resolve_masked_parameters` path, so the check
+    validates exactly what the keep-multiplier enforcement operates on; a
+    mask naming an unknown layer or mismatching the weight's shape yields
+    ``False`` (it cannot be enforced by any path).
+    """
+    try:
+        resolved = resolve_masked_parameters(model, masks)
+    except (KeyError, ValueError):
+        return False
+    for masked in resolved:
+        values = masked.weight.data[masked.mask]
         if values.size and not np.all(np.abs(values) <= atol):
             return False
     return True

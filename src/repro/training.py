@@ -306,6 +306,21 @@ def apply_weight_masks(model: nn.Module, masks: Optional[MaskDict]) -> None:
         weight.data[mask] = 0.0
 
 
+def enforce_weight_masks(model: nn.Module, masks: Optional[MaskDict]) -> List[MaskedParameter]:
+    """Clamp masked weights through the keep-multiplier enforcement path.
+
+    The one shared pruning primitive: resolves the masks exactly like the
+    trainers (:func:`resolve_masked_parameters`) and enforces them with the
+    same in-place float32 keep-multiplies the per-step hot loops use, so
+    pruning applied here can never drift from mask enforcement during FAT.
+    Returns the resolved parameters for callers that keep enforcing.
+    """
+    resolved = resolve_masked_parameters(model, masks)
+    for masked in resolved:
+        masked.enforce_weight()
+    return resolved
+
+
 def mask_gradients(model: nn.Module, masks: Optional[MaskDict]) -> None:
     """Zero the gradients of masked weights so optimizer state stays clean."""
     if not masks:

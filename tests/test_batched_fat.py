@@ -416,6 +416,88 @@ class TestFrameworkBatchedFat:
         assert shortcut == serial
 
 
+class TestStrategyBatchedFat:
+    """Serial-vs-batched bit-identity for strategy-tagged retraining.
+
+    A strategy's masks (plain FAP, or FAM's saliency-permuted masks) are just
+    another per-chip mask set stacked into the batched trainer's
+    keep-multipliers, so ``retrain_chips_batched(strategy=...)`` must equal
+    the per-chip serial path bit for bit — including the hybrid bypass
+    strategy, whose bypassable chips never enter training at all.
+    """
+
+    @pytest.mark.parametrize("strategy", ["fap+fat", "fam+fat"])
+    def test_strategy_batched_matches_serial(
+        self, smoke_context, fat_population, strategy
+    ):
+        framework = smoke_context.framework()
+        chips = list(fat_population)
+        serial = [
+            framework.retrain_chip(chip, 0.5, strategy=strategy) for chip in chips
+        ]
+        batched = framework.retrain_chips_batched(chips, 0.5, strategy=strategy)
+        assert batched == serial
+        assert all(result.strategy == strategy for result in batched)
+
+    @pytest.mark.parametrize("strategy", ["fap+fat", "fam+fat"])
+    def test_strategy_chunking_is_transparent(
+        self, smoke_context, fat_population, strategy
+    ):
+        framework = smoke_context.framework()
+        chips = list(fat_population)
+        full = framework.retrain_chips_batched(chips, 0.25, strategy=strategy)
+        chunked = framework.retrain_chips_batched(
+            chips, 0.25, strategy=strategy, fat_batch=2
+        )
+        assert chunked == full
+
+    def test_bypass_hybrid_batched_matches_serial(self, smoke_context):
+        from repro.accelerator import FaultMap
+        from repro.core.chips import Chip, ChipPopulation
+
+        preset = smoke_context.preset
+        rows, cols = preset.array_rows, preset.array_cols
+        # Mix bypassable chips (sparse faults) with chips where every row and
+        # column is hit (bypass infeasible -> FAT fallback).
+        chips = [
+            Chip("sparse-0", FaultMap.from_indices(rows, cols, [(1, 2), (5, 2)])),
+            Chip(
+                "dense-0",
+                FaultMap.from_indices(rows, cols, [(i, i) for i in range(rows)]),
+            ),
+            Chip("sparse-1", FaultMap.from_indices(rows, cols, [(3, 4)])),
+            Chip(
+                "dense-1",
+                FaultMap.from_indices(
+                    rows, cols, [(i, (i + 1) % cols) for i in range(rows)]
+                ),
+            ),
+        ]
+        framework = smoke_context.framework()
+        serial = [
+            framework.retrain_chip(chip, 0.25, strategy="bypass+fat") for chip in chips
+        ]
+        batched = framework.retrain_chips_batched(chips, 0.25, strategy="bypass+fat")
+        assert batched == serial
+        by_id = {result.chip_id: result for result in batched}
+        assert by_id["sparse-0"].epochs_trained == 0.0
+        assert by_id["sparse-0"].accuracy_after == framework.clean_accuracy
+        assert by_id["dense-0"].epochs_trained == 0.25
+
+    def test_engine_strategy_coalescing_matches_per_job(
+        self, smoke_context, fat_population
+    ):
+        policy = FixedEpochPolicy(0.25)
+        coalesced = CampaignEngine(smoke_context, jobs=1, fat_batch=4).run(
+            fat_population, policy, strategy="fam+fat"
+        )
+        per_job = CampaignEngine(smoke_context, jobs=1, fat_batch=1).run(
+            fat_population, policy, strategy="fam+fat"
+        )
+        assert coalesced.results == per_job.results
+        assert all(result.strategy == "fam+fat" for result in coalesced.results)
+
+
 class TestEngineCoalescing:
     def test_fat_batch_results_identical_to_per_job(self, smoke_context, fat_population):
         policy = FixedEpochPolicy(0.25)

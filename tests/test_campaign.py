@@ -277,6 +277,39 @@ class TestStoreAndResume:
         store.results_path.write_text('{"not a result": true}\n{torn')
         assert store.completed() == {}
 
+    @pytest.mark.parametrize("old_version", [2, 3])
+    def test_old_version_store_never_resumes_strategy_tagged_campaign(
+        self, smoke_context, population, tmp_path, monkeypatch, old_version
+    ):
+        """A version-2/3 store (pre-strategy fingerprints) is invisible to a
+        version-4 campaign: the format version is part of every fingerprint,
+        so the old store's directory is never matched and every chip
+        re-executes instead of resuming against old-numerics results."""
+        import repro.campaign.store as store_module
+
+        policy = FixedEpochPolicy(0.25)
+        monkeypatch.setattr(store_module, "STORE_FORMAT_VERSION", old_version)
+        old_engine = CampaignEngine(smoke_context, jobs=1, store_base=tmp_path)
+        old_engine.run(population, policy)
+        old_fingerprint = old_engine.last_report.fingerprint
+        old_dir = old_engine.last_report.store_dir
+        assert old_engine.last_report.executed == len(population)
+
+        monkeypatch.undo()
+        new_engine = CampaignEngine(smoke_context, jobs=1, store_base=tmp_path)
+        new_engine.run(population, policy)
+        # Nothing resumed: the strategy-tagged campaign owns a fresh store.
+        assert new_engine.last_report.skipped == 0
+        assert new_engine.last_report.executed == len(population)
+        assert new_engine.last_report.fingerprint != old_fingerprint
+        assert new_engine.last_report.store_dir != old_dir
+        # Forcing a different campaign onto the old store's directory (same
+        # policy, colliding 16-char prefix) is refused outright.
+        colliding = old_fingerprint[:16] + "f" * (len(old_fingerprint) - 16)
+        assert colliding != old_fingerprint
+        with pytest.raises(CampaignStoreError):
+            CampaignStore.open(tmp_path, colliding, manifest={"policy": policy.name})
+
 
 class TestHeartbeat:
     def _capture(self):
