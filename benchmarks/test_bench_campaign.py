@@ -148,6 +148,52 @@ def test_bench_mitigation_sweep_jobsN(benchmark, fast_context, bench_population)
         assert sweep.campaign(name).results == baseline.campaign(name).results
 
 
+def test_bench_campaign_tracing_off(benchmark, fast_context, bench_population):
+    """Baseline of the tracer-overhead pair: instrumented code, tracing off.
+
+    Every span site in the engine/trainers costs one attribute check when the
+    tracer is disabled; this benchmark (vs ``test_bench_campaign_tracing_on``)
+    is the regression gate keeping the disabled path unmeasurable.
+    """
+    from repro.observability import metrics, trace
+
+    trace.disable()
+    metrics.enabled = False
+    engine = CampaignEngine(fast_context, jobs=1, fat_batch=FAT_BATCH)
+    campaign = run_once(benchmark, engine.run, bench_population, FixedEpochPolicy(BUDGET))
+    _record_throughput(benchmark, engine)
+    assert campaign.num_chips == len(bench_population)
+
+
+def test_bench_campaign_tracing_on(benchmark, fast_context, bench_population, tmp_path_factory):
+    """Same campaign with span tracing + metrics enabled.
+
+    Pins the enabled-tracer overhead (per-span JSONL writes + hot-path
+    timers) and the invariant that tracing never changes results: the traced
+    run is bit-identical to the untraced baseline.
+    """
+    from repro.observability import metrics, trace
+
+    baseline = CampaignEngine(fast_context, jobs=1, fat_batch=FAT_BATCH).run(
+        bench_population, FixedEpochPolicy(BUDGET)
+    )
+    trace_dir = tmp_path_factory.mktemp("campaign-trace")
+    trace.enable(trace_dir)
+    metrics.enabled = True
+    try:
+        engine = CampaignEngine(fast_context, jobs=1, fat_batch=FAT_BATCH)
+        campaign = run_once(
+            benchmark, engine.run, bench_population, FixedEpochPolicy(BUDGET)
+        )
+    finally:
+        trace.disable()
+        metrics.enabled = False
+        metrics.reset()
+    _record_throughput(benchmark, engine)
+    assert campaign.results == baseline.results
+    assert (trace_dir / "trace.json").exists()
+
+
 def test_bench_campaign_resume_is_free(benchmark, fast_context, bench_population, tmp_path_factory):
     """A warm store makes re-running a campaign O(read) instead of O(retrain)."""
     store_base = tmp_path_factory.mktemp("campaign-store")

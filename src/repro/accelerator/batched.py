@@ -69,6 +69,7 @@ from repro.nn.functional import (
     im2col_t,
 )
 from repro.nn.tensor import Function, is_grad_enabled
+from repro.observability import metrics, trace
 
 MaskDict = Dict[str, np.ndarray]
 
@@ -104,8 +105,12 @@ def _cached_lowering(cache, key, compute):
     """Get-or-compute one shared-prefix lowering through the budget cap."""
     entry = cache.get(key)
     if entry is None:
+        if metrics.enabled:
+            metrics.counter("lowering_cache.misses").inc()
         entry = compute()
         _lowering_cache_put(cache, key, entry)
+    elif metrics.enabled:
+        metrics.counter("lowering_cache.hits").inc()
     return entry
 
 
@@ -615,20 +620,24 @@ class _StackedConv2dFunction(Function):
                 # no_grad), so the cached array is never aliased or mutated.
                 cols_op, out_h, out_w = lowering
             else:
-                cols_op, out_h, out_w = im2col_t(x, (kh, kw), stride, padding)  # (K, P)
+                with metrics.timer("fat.im2col_seconds"):
+                    cols_op, out_h, out_w = im2col_t(x, (kh, kw), stride, padding)  # (K, P)
             # Wide GEMM: all chips' weight rows in one (B * O, K) @ (K, P)
             # call.  Per-chip row blocks are bit-identical to the serial
             # (O, K) @ (K, P) GEMM on this BLAS build (pinned by tests), and
             # one M-wide call is far faster than B narrow ones.
-            out_t = (w2.reshape(chips * out_channels, -1) @ cols_op).reshape(
-                chips, out_channels, -1
-            )
+            with metrics.timer("fat.gemm_seconds"):
+                out_t = (w2.reshape(chips * out_channels, -1) @ cols_op).reshape(
+                    chips, out_channels, -1
+                )
         else:
             per_chip = x.shape[0] // num_chips
-            cols_op, out_h, out_w = _stacked_im2col_t(
-                x, num_chips, (kh, kw), stride, padding
-            )
-            out_t = np.matmul(w2, cols_op)  # (B, O, P)
+            with metrics.timer("fat.im2col_seconds"):
+                cols_op, out_h, out_w = _stacked_im2col_t(
+                    x, num_chips, (kh, kw), stride, padding
+                )
+            with metrics.timer("fat.gemm_seconds"):
+                out_t = np.matmul(w2, cols_op)  # (B, O, P)
         if bias is not None:
             out_t += bias[:, :, None]
         out = out_t.reshape(chips, out_channels, per_chip, out_h, out_w).transpose(
@@ -654,14 +663,15 @@ class _StackedConv2dFunction(Function):
             grad_output.reshape(num_chips, per_chip, out_channels, out_h, out_w)
             .transpose(0, 2, 1, 3, 4)
         ).reshape(num_chips, out_channels, -1)
-        if shared:
-            # Wide GEMM against the shared columns: one (B * O, P) @ (P, K)
-            # call whose per-chip row blocks equal the serial NT GEMM.
-            grad_w = (
-                g_t.reshape(num_chips * out_channels, -1) @ cols_op.T
-            ).reshape(num_chips, out_channels, -1)
-        else:
-            grad_w = np.matmul(g_t, cols_op.transpose(0, 2, 1))
+        with metrics.timer("fat.gemm_seconds"):
+            if shared:
+                # Wide GEMM against the shared columns: one (B * O, P) @ (P, K)
+                # call whose per-chip row blocks equal the serial NT GEMM.
+                grad_w = (
+                    g_t.reshape(num_chips * out_channels, -1) @ cols_op.T
+                ).reshape(num_chips, out_channels, -1)
+            else:
+                grad_w = np.matmul(g_t, cols_op.transpose(0, 2, 1))
         grad_w = grad_w.reshape(weight.shape)
         grad_x = None
         if not self.needs_input_grad or self.needs_input_grad[0]:
@@ -1232,7 +1242,9 @@ class BatchedFaultTrainer:
         self.model.train()
         losses: List[np.ndarray] = []
         remaining = num_steps
-        with self._patched():
+        with trace.span(
+            "fat.train_steps", steps=num_steps, chips=self.num_chips
+        ), self._patched():
             while remaining > 0:
                 for inputs, targets in self.train_loader:
                     self._shared_prefix = True
@@ -1278,7 +1290,9 @@ class BatchedFaultTrainer:
         correct = np.zeros(self.num_chips, dtype=np.int64)
         total = 0
         try:
-            with nn.no_grad(), self._patched():
+            with trace.span(
+                "fat.eval_checkpoint", chips=self.num_chips
+            ), nn.no_grad(), self._patched():
                 for batch_index, (inputs, targets) in enumerate(loader):
                     self._shared_prefix = True
                     self._eval_batch_index = batch_index

@@ -111,6 +111,33 @@ def scatter_plot(
     return "\n".join(lines)
 
 
+def bar_table(
+    rows: Sequence[Tuple[str, float, str]],
+    width: int = 40,
+    scale_max: Optional[float] = None,
+    title: str = "",
+) -> str:
+    """Render labelled values as a horizontal bar table.
+
+    Each row is ``(label, value, annotation)``; bars are scaled to
+    ``scale_max`` when given (e.g. 100 for percentages) and to the largest
+    value otherwise.  The annotation is printed to the right of the bar.
+    """
+    rows = list(rows)
+    if not rows:
+        raise ValueError("bar_table requires at least one row")
+    peak = scale_max if scale_max is not None else max(value for _, value, _ in rows)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label, _, _ in rows)
+    lines = [title] if title else []
+    for label, value, annotation in rows:
+        filled = int(round(width * min(max(value, 0.0), peak) / peak))
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(f"{label:<{label_width}} |{bar}| {annotation}")
+    return "\n".join(lines)
+
+
 def histogram(
     values: Sequence[float],
     bins: int = 10,

@@ -50,6 +50,12 @@ from repro.core.chips import ChipPopulation
 from repro.core.reduce import CampaignResult, ChipRetrainingResult, ReduceFramework
 from repro.core.selection import FixedEpochPolicy, RetrainingPolicy
 from repro.mitigation.strategy import StrategyLike, resolve_strategy
+from repro.observability import (
+    metrics,
+    trace,
+    write_chrome_trace,
+    write_merged_metrics,
+)
 from repro.utils.logging import get_logger
 from repro.utils.timing import Timer, format_duration
 
@@ -63,12 +69,32 @@ PathLike = Union[str, Path]
 # (hitting the on-disk pre-trained-state cache when one is configured).
 _WORKER_FRAMEWORK: Optional[ReduceFramework] = None
 _WORKER_FAT_BATCH: int = 1
+_WORKER_OBS_DIR: Optional[str] = None
 
 
-def _initialize_worker(preset, disk_cache_dir: Optional[str], fat_batch: int) -> None:
-    global _WORKER_FRAMEWORK, _WORKER_FAT_BATCH
+def _initialize_worker(
+    preset,
+    disk_cache_dir: Optional[str],
+    fat_batch: int,
+    trace_dir: Optional[str] = None,
+    metrics_enabled: bool = False,
+) -> None:
+    global _WORKER_FRAMEWORK, _WORKER_FAT_BATCH, _WORKER_OBS_DIR
     from repro.experiments.common import ExperimentContext
 
+    # Observability propagates through the dispatch path: each worker records
+    # spans into its own pid-keyed shard of the parent's trace directory.
+    # ``enable`` is explicit for spawn-started workers; fork-started workers
+    # would inherit an enabled tracer anyway, but re-enabling also drops any
+    # inherited file handle so the worker never writes to the parent's shard.
+    if trace_dir is not None:
+        trace.enable(trace_dir)
+    metrics.enabled = bool(metrics_enabled)
+    # Fork-started workers inherit the parent's counter values; a worker
+    # shard must only report work done *in* this process, or merging would
+    # double-count everything the parent recorded before the fork.
+    metrics.reset()
+    _WORKER_OBS_DIR = trace_dir
     context = ExperimentContext.from_preset(preset, disk_cache_dir=disk_cache_dir)
     _WORKER_FRAMEWORK = context.framework()
     _WORKER_FAT_BATCH = fat_batch
@@ -76,7 +102,12 @@ def _initialize_worker(preset, disk_cache_dir: Optional[str], fat_batch: int) ->
 
 def _execute_chunk_in_worker(chunk: List[ChipJob]) -> List[ChipRetrainingResult]:
     assert _WORKER_FRAMEWORK is not None, "worker initializer did not run"
-    return execute_job_chunk(_WORKER_FRAMEWORK, chunk, fat_batch=_WORKER_FAT_BATCH)
+    results = execute_job_chunk(_WORKER_FRAMEWORK, chunk, fat_batch=_WORKER_FAT_BATCH)
+    if _WORKER_OBS_DIR is not None:
+        # Atomic per-pid replace: cheap, idempotent, and always current so a
+        # killed worker still leaves its latest snapshot behind.
+        metrics.write_shard(_WORKER_OBS_DIR)
+    return results
 
 
 def _start_method() -> str:
@@ -219,39 +250,64 @@ class CampaignEngine:
         accuracy under the same masks.
         """
         strategy = resolve_strategy(strategy)
-        framework = self.context.framework()
-        job_list = build_jobs(framework, population, policy, strategy=strategy)
-        target_accuracy = framework.target_accuracy
-        clean_accuracy = framework.clean_accuracy
+        with trace.span(
+            "campaign.run",
+            policy=policy.name,
+            strategy=strategy.name,
+            jobs=self.jobs,
+        ) as run_span:
+            result = self._run(population, policy, strategy, triage, run_span)
+        self._write_observability_artifacts()
+        return result
 
-        store: Optional[CampaignStore] = None
-        fingerprint: Optional[str] = None
+    def _run(
+        self,
+        population: ChipPopulation,
+        policy: RetrainingPolicy,
+        strategy,
+        triage: Optional[Dict[str, float]],
+        run_span,
+    ) -> CampaignResult:
+        metrics.gauge("campaign.phase").set("plan")
+        with trace.span("campaign.plan", stage="build_jobs"):
+            framework = self.context.framework()
+            job_list = build_jobs(framework, population, policy, strategy=strategy)
+            target_accuracy = framework.target_accuracy
+            clean_accuracy = framework.clean_accuracy
+            run_span.set(chips=len(job_list))
+
+            store: Optional[CampaignStore] = None
+            fingerprint: Optional[str] = None
+            if self.store_base is not None:
+                fingerprint = campaign_fingerprint(
+                    self.context.preset, policy.name, target_accuracy, job_list
+                )
+                store = CampaignStore.open(
+                    self.store_base,
+                    fingerprint,
+                    manifest={
+                        "policy": policy.name,
+                        "strategy": strategy.name,
+                        "preset": self.context.preset.name,
+                        "num_chips": len(job_list),
+                        "target_accuracy": target_accuracy,
+                        "clean_accuracy": clean_accuracy,
+                        "array_shape": list(population.array_shape),
+                    },
+                )
+
         known: Dict[str, ChipRetrainingResult] = {}
-        if self.store_base is not None:
-            fingerprint = campaign_fingerprint(
-                self.context.preset, policy.name, target_accuracy, job_list
-            )
-            store = CampaignStore.open(
-                self.store_base,
-                fingerprint,
-                manifest={
-                    "policy": policy.name,
-                    "strategy": strategy.name,
-                    "preset": self.context.preset.name,
-                    "num_chips": len(job_list),
-                    "target_accuracy": target_accuracy,
-                    "clean_accuracy": clean_accuracy,
-                    "array_shape": list(population.array_shape),
-                },
-            )
+        if store is not None:
             if self.resume:
-                store.compact()
-                wanted = {job.chip_id for job in job_list}
-                known = {
-                    chip_id: result
-                    for chip_id, result in store.completed().items()
-                    if chip_id in wanted
-                }
+                metrics.gauge("campaign.phase").set("resume_scan")
+                with trace.span("campaign.resume_scan"):
+                    store.compact()
+                    wanted = {job.chip_id for job in job_list}
+                    known = {
+                        chip_id: result
+                        for chip_id, result in store.completed().items()
+                        if chip_id in wanted
+                    }
             else:
                 store.clear_results()
 
@@ -276,31 +332,46 @@ class CampaignEngine:
             # zero-epoch jobs become pure lookups for the executor.  A caller-
             # supplied ``triage`` dict is consulted first and extended in
             # place, so sweeps share one pass among same-mask strategies.
-            triage = triage if triage is not None else {}
-            missing = [job.to_chip() for job in pending if job.chip_id not in triage]
-            if missing:
-                triage.update(
-                    framework.triage_population(missing, strategy=strategy)
-                )
-            pending = [
-                job.with_accuracy_before(triage[job.chip_id])
-                if job.chip_id in triage
-                else job
-                for job in pending
-            ]
+            metrics.gauge("campaign.phase").set("triage")
+            with trace.span("campaign.triage", chips=len(pending)):
+                triage = triage if triage is not None else {}
+                missing = [job.to_chip() for job in pending if job.chip_id not in triage]
+                if missing:
+                    triage.update(
+                        framework.triage_population(missing, strategy=strategy)
+                    )
+                pending = [
+                    job.with_accuracy_before(triage[job.chip_id])
+                    if job.chip_id in triage
+                    else job
+                    for job in pending
+                ]
 
         executed = 0
         last_heartbeat = time.monotonic()
+        chips_counter = metrics.counter(
+            "campaign.chips_completed", strategy=strategy.name
+        )
+        heartbeat_count = chips_counter.value
 
         def record_chunk(results: Sequence[ChipRetrainingResult]) -> None:
             """Group-result protocol: persist + account one chunk at a time."""
-            nonlocal done, executed, last_heartbeat
+            nonlocal done, executed, last_heartbeat, heartbeat_count
             if store is not None:
                 store.append_many(results)
+            metrics.counter("campaign.chunks_recorded").inc()
+            chips_counter.inc(len(results))
             for result in results:
                 known[result.chip_id] = result
                 done += 1
                 executed += 1
+                # Committed-chip instants are emitted parent-side *after* the
+                # store append succeeded, so a merged trace never contains
+                # duplicate chip events across a kill/resume cycle (resumed
+                # chips are loaded from the store and emit none).
+                trace.instant(
+                    "campaign.chip", chip_id=result.chip_id, strategy=strategy.name
+                )
                 if self.progress:
                     logger.info(
                         "campaign %s: %d/%d chip %s rate=%.3f epochs=%.3f acc=%.3f meets=%s",
@@ -319,20 +390,36 @@ class CampaignEngine:
                 and now - last_heartbeat >= self.heartbeat_seconds
                 and done < len(job_list)
             ):
+                # Recent rate from the chips-completed counter delta over the
+                # heartbeat window (falling back to the cumulative rate on the
+                # first beat), which feeds the ETA for the remaining chips.
+                window = max(now - last_heartbeat, 1e-9)
+                recent_rate = (chips_counter.value - heartbeat_count) / window
                 last_heartbeat = now
+                heartbeat_count = chips_counter.value
                 elapsed_so_far = max(now - started, 1e-9)
+                rate = recent_rate if recent_rate > 0 else executed / elapsed_so_far
+                remaining = len(job_list) - done
+                phase = metrics.gauge("campaign.phase").value or "execute"
+                eta = format_duration(remaining / rate) if rate > 0 else "?"
                 logger.info(
-                    "campaign %s: heartbeat %d/%d chips done (%.1f chips/s)",
+                    "campaign %s: heartbeat %d/%d chips done "
+                    "(%.1f chips/s, eta %s, phase %s)",
                     policy.name,
                     done,
                     len(job_list),
-                    executed / elapsed_so_far,
+                    rate,
+                    eta,
+                    phase,
                 )
 
         if pending:
             # Worker-aware planning: one big same-budget group still splits
             # across all requested workers instead of starving them.
-            plan = plan_job_chunks(pending, self.fat_batch, workers=self.jobs)
+            metrics.gauge("campaign.phase").set("plan")
+            with trace.span("campaign.plan", stage="chunk", chips=len(pending)):
+                plan = plan_job_chunks(pending, self.fat_batch, workers=self.jobs)
+            metrics.counter("campaign.chunks_planned").inc(len(plan))
             batched_chips = sum(len(chunk) for chunk in plan if len(chunk) > 1)
             if batched_chips:
                 logger.info(
@@ -353,11 +440,16 @@ class CampaignEngine:
                 job.epochs == 0 and job.accuracy_before is not None
                 for job in pending
             )
-            if self.jobs > 1 and len(plan) > 1 and not all_lookups:
-                self._execute_parallel(plan, record_chunk)
-            else:
-                self._execute_inline(framework, plan, record_chunk)
+            metrics.gauge("campaign.phase").set("execute")
+            with trace.span(
+                "campaign.execute", chunks=len(plan), chips=len(pending)
+            ):
+                if self.jobs > 1 and len(plan) > 1 and not all_lookups:
+                    self._execute_parallel(plan, record_chunk)
+                else:
+                    self._execute_inline(framework, plan, record_chunk)
         elapsed = timer.stop()
+        metrics.gauge("campaign.phase").set("finalize")
 
         self.last_report = CampaignReport(
             policy_name=policy.name,
@@ -370,6 +462,10 @@ class CampaignEngine:
             store_dir=store.directory if store is not None else None,
         )
         logger.info("campaign finished: %s", self.last_report.describe())
+        if self.last_report.executed:
+            metrics.gauge(
+                "campaign.chips_per_second", strategy=strategy.name
+            ).set(self.last_report.chips_per_second)
 
         results = [known[job.chip_id] for job in job_list]
         return CampaignResult(
@@ -378,6 +474,36 @@ class CampaignEngine:
             clean_accuracy=clean_accuracy,
             results=results,
         )
+
+    def _write_observability_artifacts(self) -> None:
+        """Refresh merged trace/metrics artifacts after a run (idempotent).
+
+        Re-running after every ``run()`` keeps the merged views current for
+        multi-arm sweeps: each arm's spans simply extend the same shards and
+        the merge is rewritten atomically.
+        """
+        if not (trace.enabled or metrics.enabled):
+            return
+        # Snapshot process-wide cache stats into gauges so the merged metrics
+        # carry fault-mask LRU effectiveness without touching mapping.py's
+        # hot path (the counters there are plain dict increments already).
+        from repro.accelerator.mapping import mask_cache_stats
+
+        for key, value in mask_cache_stats().items():
+            metrics.gauge(f"mask_cache.{key}").set(value)
+        directory = trace.directory
+        if trace.enabled and directory is not None:
+            trace.flush()
+            metrics.write_shard(directory)
+            write_chrome_trace(directory)
+            write_merged_metrics(directory)
+        elif (
+            metrics.enabled
+            and self.last_report is not None
+            and self.last_report.store_dir is not None
+        ):
+            metrics.write_shard(self.last_report.store_dir)
+            write_merged_metrics(self.last_report.store_dir)
 
     def run_reduce(
         self,
@@ -445,10 +571,19 @@ class CampaignEngine:
             self.fat_batch,
             pool_chunksize,
         )
+        trace_dir = (
+            str(trace.directory) if trace.enabled and trace.directory else None
+        )
         with mp_context.Pool(
             processes=workers,
             initializer=_initialize_worker,
-            initargs=(self.context.preset, self.disk_cache_dir, self.fat_batch),
+            initargs=(
+                self.context.preset,
+                self.disk_cache_dir,
+                self.fat_batch,
+                trace_dir,
+                metrics.enabled,
+            ),
         ) as pool:
             for results in pool.imap_unordered(
                 _execute_chunk_in_worker, plan, chunksize=pool_chunksize

@@ -44,6 +44,7 @@ from repro.mitigation.strategy import (
     StrategyLike,
     resolve_strategy,
 )
+from repro.observability import metrics, trace
 
 
 @dataclasses.dataclass(frozen=True)
@@ -200,9 +201,25 @@ def execute_job_chunk(
     results equal ``[execute_job(framework, job) for job in chunk]``.
     """
     chunk_list = list(chunk)
-    if len(chunk_list) <= 1 or fat_batch <= 1:
-        return [execute_job(framework, job) for job in chunk_list]
-    return execute_jobs_batched(framework, chunk_list, fat_batch=fat_batch)
+    if not chunk_list:
+        return []
+    # The chunk span is an execution *attempt*: it lands in the shard of
+    # whichever process ran the chunk (worker shards are keyed by pid), and a
+    # killed-then-resumed campaign may legitimately record the same chunk
+    # twice.  Committed chips are the parent-side "campaign.chip" instants.
+    with trace.span(
+        "campaign.chunk",
+        chips=len(chunk_list),
+        epochs=chunk_list[0].epochs,
+        strategy=chunk_list[0].strategy,
+        batched=len(chunk_list) > 1 and fat_batch > 1,
+    ):
+        if len(chunk_list) <= 1 or fat_batch <= 1:
+            results = [execute_job(framework, job) for job in chunk_list]
+        else:
+            results = execute_jobs_batched(framework, chunk_list, fat_batch=fat_batch)
+    metrics.counter("campaign.chunks_executed").inc()
+    return results
 
 
 def execute_jobs_batched(

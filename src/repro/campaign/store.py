@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Sequence, Union
 
 from repro.core.reduce import ChipRetrainingResult
+from repro.observability import metrics
 from repro.utils.config import config_to_dict, save_json
 from repro.utils.logging import get_logger
 
@@ -156,7 +157,10 @@ class CampaignStore:
         with self.results_path.open("a", encoding="utf-8") as handle:
             handle.write(payload)
             handle.flush()
-            os.fsync(handle.fileno())
+            with metrics.timer("store.fsync_seconds"):
+                os.fsync(handle.fileno())
+        metrics.counter("store.appends").inc()
+        metrics.counter("store.results_appended").inc(len(results))
 
     def completed(self) -> "OrderedDict[str, ChipRetrainingResult]":
         """Results recorded so far, keyed by chip id (last write wins).
@@ -202,6 +206,8 @@ class CampaignStore:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, self.results_path)
+        metrics.counter("store.compactions").inc()
+        metrics.gauge("store.resumed_results").set(len(results))
         return len(results)
 
     def num_recorded(self) -> int:

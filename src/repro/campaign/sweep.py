@@ -29,6 +29,7 @@ from repro.core.chips import ChipPopulation
 from repro.core.reduce import CampaignResult
 from repro.core.selection import RetrainingPolicy
 from repro.mitigation.strategy import MitigationStrategy, parse_strategy_list
+from repro.observability import trace
 from repro.utils.logging import get_logger
 
 logger = get_logger("campaign.sweep")
@@ -111,9 +112,14 @@ def run_strategy_sweep(
             policy.name,
         )
         shared_triage = triage_by_key.setdefault(strategy.triage_key, {})
-        campaigns[strategy.name] = engine.run(
-            population, policy, strategy=strategy, triage=shared_triage
-        )
+        # One arm span per strategy; the engine's campaign.run span nests
+        # inside it, so a sweep trace attributes wall-clock per strategy arm.
+        with trace.span(
+            "sweep.strategy", strategy=strategy.name, chips=len(population)
+        ):
+            campaigns[strategy.name] = engine.run(
+                population, policy, strategy=strategy, triage=shared_triage
+            )
         reports[strategy.name] = engine.last_report
     framework = context.framework()
     return StrategySweepResult(

@@ -7,6 +7,8 @@ the figures are built from, e.g.::
     repro-reduce fig3     --preset fast --chips 24 --jobs 4
     repro-reduce campaign --preset fast --chips 24 --jobs 4 --campaign-dir campaigns
     repro-reduce compare  --preset fast --strategies fat,fap,fam+fat,bypass --jobs 4
+    repro-reduce campaign --preset fast --jobs 2 --fat-batch 4 --trace trace
+    repro-reduce trace    trace
     repro-reduce all      --preset smoke --output results.json
 
 The ``campaign`` command runs a single retraining campaign through the
@@ -57,8 +59,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command",
-        choices=["fig2a", "fig2b", "fig3", "campaign", "compare", "all", "info"],
-        help="which experiment to run ('info' prints the preset summary)",
+        choices=["fig2a", "fig2b", "fig3", "campaign", "compare", "all", "info", "trace"],
+        help="which experiment to run ('info' prints the preset summary; "
+        "'trace' summarizes a recorded campaign trace)",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        type=Path,
+        default=None,
+        help="trace directory, merged trace.json or shard to summarize "
+        "(the 'trace' command only; default: ./trace)",
     )
     parser.add_argument(
         "--preset",
@@ -120,6 +131,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "run; composes with --jobs N (each worker retrains a whole batch per "
         "dispatch). Default: 8; 1 disables coalescing; results are bit-identical "
         "either way",
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="record campaign spans to per-process shards under DIR and merge "
+        "them into DIR/trace.json (Chrome trace-event format; see the "
+        "'trace' command); also enables --metrics",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect hot-path metrics (GEMM/im2col timers, cache hit rates, "
+        "fsync latency) and write a metrics.json snapshot next to the trace "
+        "or campaign store",
     )
     parser.add_argument(
         "--cache-dir",
@@ -269,6 +296,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         parse_strategy_list(args.strategies)
     except ValueError as error:
         parser.error(str(error))
+    if args.path is not None and args.command != "trace":
+        parser.error(f"positional path is only valid with the 'trace' command, "
+                     f"not {args.command!r}")
+
+    if args.command == "trace":
+        # Pure post-processing of a recorded trace: no context build needed.
+        from repro.observability import load_trace, render_trace_summary, summarize_trace
+
+        trace_path = args.path if args.path is not None else Path("trace")
+        try:
+            events = load_trace(trace_path)
+        except (OSError, ValueError) as error:
+            parser.error(str(error))
+        if not events:
+            print(f"[repro-reduce] no trace events found at {trace_path}")
+            return 1
+        try:
+            print(render_trace_summary(summarize_trace(events)))
+        except BrokenPipeError:
+            # `repro-reduce trace | head` closes stdout early; that is not
+            # an error worth a traceback.
+            sys.stderr.close()
+        return 0
+
+    if args.trace is not None:
+        from repro.observability import metrics, trace
+
+        trace.enable(args.trace)
+        metrics.enabled = True
+        print(f"[repro-reduce] tracing enabled: shards + merged trace.json under {args.trace}")
+    elif args.metrics:
+        from repro.observability import metrics
+
+        metrics.enabled = True
 
     preset = get_preset(args.preset)
     if args.command == "info":

@@ -1,0 +1,64 @@
+"""Observability layer: span tracing + metrics for the campaign pipeline.
+
+Two process-wide singletons back every instrumentation site:
+
+* :data:`trace` — a span tracer (``with trace.span("campaign.triage"): ...``)
+  that is a no-op until :meth:`~repro.observability.tracer.Tracer.enable` is
+  called with a directory, then writes per-process JSONL shards mergeable
+  into a Chrome trace-event JSON (Perfetto / ``chrome://tracing``).
+* :data:`metrics` — a counter/gauge/histogram registry snapshotting to JSON.
+
+Neither touches model numerics or RNG streams: campaign results are
+bit-identical with observability on or off.
+"""
+
+from repro.observability.metrics import (
+    MERGED_METRICS_NAME,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_metric_shards,
+    metrics,
+    split_key,
+    write_merged_metrics,
+)
+from repro.observability.summary import (
+    load_trace,
+    render_trace_summary,
+    summarize_trace,
+    summarize_trace_path,
+)
+from repro.observability.tracer import (
+    CHROME_TRACE_NAME,
+    Span,
+    Tracer,
+    merge_shards,
+    read_shard,
+    to_chrome_trace,
+    trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "CHROME_TRACE_NAME",
+    "MERGED_METRICS_NAME",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "load_trace",
+    "merge_metric_shards",
+    "merge_shards",
+    "metrics",
+    "read_shard",
+    "render_trace_summary",
+    "split_key",
+    "summarize_trace",
+    "summarize_trace_path",
+    "to_chrome_trace",
+    "trace",
+    "write_chrome_trace",
+]

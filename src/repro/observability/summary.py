@@ -1,0 +1,223 @@
+"""Trace summarization: the ``repro-reduce trace`` per-phase breakdown.
+
+Takes the events of a campaign trace — a merged Chrome trace JSON, a raw
+shard, or a whole trace directory — and attributes wall-clock per phase, per
+worker process and per mitigation strategy:
+
+* **Phases** are the engine's top-level spans (``campaign.resume_scan`` /
+  ``campaign.triage`` / ``campaign.plan`` / ``campaign.execute``), reported
+  as a share of the summed ``campaign.run`` wall-clock.
+* **Workers** are the processes that executed ``campaign.chunk`` spans; a
+  worker's utilization is its busy (in-span) time over the execute-phase
+  wall-clock, which makes pool starvation visible at a glance.
+* **Strategies** aggregate chunk time and chip counts by the ``strategy``
+  span attribute, giving per-strategy chips/s straight from the trace.
+
+The ASCII rendering reuses :func:`repro.analysis.ascii_plot.bar_table`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.analysis.ascii_plot import bar_table
+from repro.observability.tracer import (
+    CHROME_TRACE_NAME,
+    merge_shards,
+    read_shard,
+)
+from repro.utils.timing import format_duration
+
+PathLike = Union[str, Path]
+
+#: Engine spans that partition one campaign run's wall-clock.
+PHASE_SPANS = (
+    "campaign.resume_scan",
+    "campaign.triage",
+    "campaign.plan",
+    "campaign.execute",
+)
+
+
+def _from_chrome(document: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Normalize a Chrome trace-event document back to internal events."""
+    events: List[Dict[str, Any]] = []
+    for entry in document.get("traceEvents", []):
+        event: Dict[str, Any] = {
+            "name": entry.get("name", ""),
+            "start": float(entry.get("ts", 0.0)) / 1e6,
+            "pid": int(entry.get("pid", 0)),
+            "attrs": entry.get("args", {}) or {},
+        }
+        if entry.get("ph") == "X":
+            event["duration"] = float(entry.get("dur", 0.0)) / 1e6
+        events.append(event)
+    return events
+
+
+def load_trace(path: PathLike) -> List[Dict[str, Any]]:
+    """Load trace events from a directory, a merged trace JSON, or a shard.
+
+    A directory is merged from its shards (falling back to its ``trace.json``
+    when no shards remain); a ``.jsonl`` file is read as one shard; any other
+    file is parsed as a Chrome trace-event document.
+    """
+    path = Path(path)
+    if path.is_dir():
+        events = merge_shards(path)
+        if not events and (path / CHROME_TRACE_NAME).exists():
+            path = path / CHROME_TRACE_NAME
+        else:
+            return events
+    if not path.exists():
+        raise FileNotFoundError(f"no trace at {path}")
+    if path.suffix == ".jsonl":
+        return read_shard(path)
+    with path.open("r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ValueError(f"{path} is not a trace document")
+    return _from_chrome(document)
+
+
+def _duration_events(events: List[Dict[str, Any]], name: str) -> List[Dict[str, Any]]:
+    return [e for e in events if e.get("name") == name and e.get("duration") is not None]
+
+
+def summarize_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate trace events into the per-phase/worker/strategy breakdown."""
+    runs = _duration_events(events, "campaign.run")
+    total_wall = sum(float(e["duration"]) for e in runs)
+    phases: List[Dict[str, Any]] = []
+    accounted = 0.0
+    for phase in PHASE_SPANS:
+        spans = _duration_events(events, phase)
+        phase_total = sum(float(e["duration"]) for e in spans)
+        accounted += phase_total
+        phases.append(
+            {
+                "phase": phase.split(".", 1)[1],
+                "seconds": phase_total,
+                "count": len(spans),
+                "percent": 100.0 * phase_total / total_wall if total_wall else 0.0,
+            }
+        )
+    execute_total = next(p["seconds"] for p in phases if p["phase"] == "execute")
+
+    chunks = _duration_events(events, "campaign.chunk")
+    workers: Dict[int, Dict[str, Any]] = {}
+    strategies: Dict[str, Dict[str, Any]] = {}
+    for chunk in chunks:
+        attrs = chunk.get("attrs", {}) or {}
+        seconds = float(chunk["duration"])
+        chips = int(attrs.get("chips", 0))
+        worker = workers.setdefault(
+            int(chunk.get("pid", 0)), {"busy_seconds": 0.0, "chunks": 0, "chips": 0}
+        )
+        worker["busy_seconds"] += seconds
+        worker["chunks"] += 1
+        worker["chips"] += chips
+        name = str(attrs.get("strategy", "?"))
+        strategy = strategies.setdefault(name, {"seconds": 0.0, "chunks": 0, "chips": 0})
+        strategy["seconds"] += seconds
+        strategy["chunks"] += 1
+        strategy["chips"] += chips
+    worker_rows = [
+        {
+            "pid": pid,
+            **stats,
+            "utilization": stats["busy_seconds"] / execute_total if execute_total else 0.0,
+        }
+        for pid, stats in sorted(workers.items())
+    ]
+    strategy_rows = [
+        {
+            "strategy": name,
+            **stats,
+            "chips_per_second": stats["chips"] / stats["seconds"] if stats["seconds"] else 0.0,
+        }
+        for name, stats in sorted(strategies.items())
+    ]
+    chip_events = [e for e in events if e.get("name") == "campaign.chip"]
+    return {
+        "total_wall_seconds": total_wall,
+        "runs": len(runs),
+        "accounted_seconds": accounted,
+        "accounted_percent": 100.0 * accounted / total_wall if total_wall else 0.0,
+        "phases": phases,
+        "workers": worker_rows,
+        "strategies": strategy_rows,
+        "chips_committed": len(chip_events),
+    }
+
+
+def render_trace_summary(summary: Dict[str, Any], width: int = 40) -> str:
+    """Render :func:`summarize_trace` output as an ASCII breakdown."""
+    lines: List[str] = []
+    total = summary["total_wall_seconds"]
+    lines.append(
+        f"campaign trace: {summary['runs']} run(s), "
+        f"wall-clock {format_duration(total) if total else '0s'}, "
+        f"{summary['chips_committed']} chip(s) committed, "
+        f"{summary['accounted_percent']:.1f}% of wall-clock in phases"
+    )
+    lines.append("")
+    lines.append("Per-phase breakdown (% of campaign wall-clock):")
+    lines.append(
+        bar_table(
+            [
+                (
+                    row["phase"],
+                    row["percent"],
+                    f"{row['percent']:5.1f}%  {format_duration(row['seconds']) if row['seconds'] else '0s'}"
+                    f"  ({row['count']}x)",
+                )
+                for row in summary["phases"]
+            ],
+            width=width,
+            scale_max=100.0,
+        )
+    )
+    if summary["workers"]:
+        lines.append("")
+        lines.append("Per-worker utilization (busy / execute wall-clock):")
+        lines.append(
+            bar_table(
+                [
+                    (
+                        f"pid {row['pid']}",
+                        100.0 * row["utilization"],
+                        f"{100.0 * row['utilization']:5.1f}%  "
+                        f"{row['chips']} chips in {row['chunks']} chunk(s)",
+                    )
+                    for row in summary["workers"]
+                ],
+                width=width,
+                scale_max=100.0,
+            )
+        )
+    if summary["strategies"]:
+        lines.append("")
+        lines.append("Per-strategy attribution (chunk execution time):")
+        lines.append(
+            bar_table(
+                [
+                    (
+                        row["strategy"],
+                        row["seconds"],
+                        f"{format_duration(row['seconds']) if row['seconds'] else '0s'}  "
+                        f"{row['chips']} chips, {row['chips_per_second']:.2f} chips/s",
+                    )
+                    for row in summary["strategies"]
+                ],
+                width=width,
+            )
+        )
+    return "\n".join(lines)
+
+
+def summarize_trace_path(path: PathLike, width: int = 40) -> str:
+    """One-call helper: load, summarize and render a trace path."""
+    return render_trace_summary(summarize_trace(load_trace(path)), width=width)

@@ -25,6 +25,7 @@ from repro import nn
 from repro.data.dataloader import DataLoader
 from repro.data.dataset import Dataset
 from repro.nn import functional as F
+from repro.observability import trace
 from repro.utils.logging import get_logger
 from repro.utils.rng import SeedLike, derive_seed
 
@@ -411,32 +412,36 @@ class Trainer:
         self.model.train()
         losses: List[float] = []
         remaining = num_steps
-        while remaining > 0:
-            for inputs, targets in self.train_loader:
-                logits = self.model(inputs)
-                loss = F.cross_entropy(
-                    logits, targets, label_smoothing=self.config.label_smoothing
-                )
-                self.optimizer.zero_grad()
-                loss.backward()
-                for masked in self._masked_params:
-                    masked.enforce_grad()
-                if self.config.grad_clip is not None:
-                    # The optimizer already holds the resolved parameter list;
-                    # avoid re-walking the module tree every step.
-                    nn.clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
-                self.optimizer.step()
-                for masked in self._masked_params:
-                    masked.enforce_weight()
-                losses.append(loss.item())
-                self.steps_taken += 1
-                remaining -= 1
-                if remaining == 0:
-                    break
+        with trace.span("train.steps", steps=num_steps):
+            while remaining > 0:
+                for inputs, targets in self.train_loader:
+                    logits = self.model(inputs)
+                    loss = F.cross_entropy(
+                        logits, targets, label_smoothing=self.config.label_smoothing
+                    )
+                    self.optimizer.zero_grad()
+                    loss.backward()
+                    for masked in self._masked_params:
+                        masked.enforce_grad()
+                    if self.config.grad_clip is not None:
+                        # The optimizer already holds the resolved parameter list;
+                        # avoid re-walking the module tree every step.
+                        nn.clip_grad_norm(self.optimizer.parameters, self.config.grad_clip)
+                    self.optimizer.step()
+                    for masked in self._masked_params:
+                        masked.enforce_weight()
+                    losses.append(loss.item())
+                    self.steps_taken += 1
+                    remaining -= 1
+                    if remaining == 0:
+                        break
         return float(np.mean(losses)) if losses else float("nan")
 
     def evaluate(self) -> float:
-        return evaluate_accuracy(self.model, self.eval_data, batch_size=self.config.batch_size * 4)
+        with trace.span("train.eval"):
+            return evaluate_accuracy(
+                self.model, self.eval_data, batch_size=self.config.batch_size * 4
+            )
 
     def train(
         self,

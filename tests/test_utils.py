@@ -140,6 +140,23 @@ class TestTiming:
         with pytest.raises(ValueError):
             format_duration(-1)
 
+    def test_format_duration_unit_boundaries(self):
+        # Values just under a unit boundary must carry into the next unit
+        # instead of rendering an impossible component like "1m60.0s".
+        assert format_duration(119.99) == "2m00.0s"
+        assert format_duration(59.999) == "1m00.0s"
+        assert format_duration(3599.99) == "1h00m"
+        assert format_duration(0.99999) == "1.00s"
+        assert format_duration(0.00099999) == "1.0ms"
+
+    def test_format_duration_exact_values(self):
+        assert format_duration(0.0) == "0us"
+        assert format_duration(60.0) == "1m00.0s"
+        assert format_duration(90.0) == "1m30.0s"
+        assert format_duration(3599.94) == "59m59.9s"
+        assert format_duration(3600.0) == "1h00m"
+        assert format_duration(5400.0) == "1h30m"
+
     def test_timer_context(self):
         with Timer("test") as timer:
             time.sleep(0.01)
