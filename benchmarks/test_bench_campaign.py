@@ -13,7 +13,7 @@ import multiprocessing
 import pytest
 
 from bench_utils import run_once
-from repro.campaign import CampaignEngine, run_strategy_sweep
+from repro.campaign import CampaignEngine, SupervisorConfig, run_strategy_sweep
 from repro.core.chips import ChipPopulation
 from repro.core.selection import FixedEpochPolicy
 
@@ -192,6 +192,30 @@ def test_bench_campaign_tracing_on(benchmark, fast_context, bench_population, tm
     _record_throughput(benchmark, engine)
     assert campaign.results == baseline.results
     assert (trace_dir / "trace.json").exists()
+
+
+def test_bench_campaign_supervised_kill_recovery(benchmark, fast_context, bench_population):
+    """Supervised dispatch with one injected worker SIGKILL mid-campaign.
+
+    Pins the price of the recovery path — dead-worker detection, respawn,
+    and one chunk re-execution — against ``test_bench_campaign_parallel``'s
+    undisturbed dispatch, and asserts the headline guarantee: recovery is
+    invisible in the results.
+    """
+    baseline = CampaignEngine(fast_context, jobs=PARALLEL_JOBS, fat_batch=FAT_BATCH).run(
+        bench_population, FixedEpochPolicy(BUDGET)
+    )
+    engine = CampaignEngine(
+        fast_context,
+        jobs=PARALLEL_JOBS,
+        fat_batch=FAT_BATCH,
+        chaos="seed=3,kill=1",
+        supervisor_config=SupervisorConfig(backoff_base=0.05, poll_interval=0.02),
+    )
+    campaign = run_once(benchmark, engine.run, bench_population, FixedEpochPolicy(BUDGET))
+    _record_throughput(benchmark, engine)
+    assert campaign.results == baseline.results
+    assert not campaign.failed_chips
 
 
 def test_bench_campaign_resume_is_free(benchmark, fast_context, bench_population, tmp_path_factory):

@@ -2,11 +2,15 @@
 
 This package is the layer between the per-chip math of
 :mod:`repro.core.reduce` and the figure runners: it freezes Step 2 decisions
-into picklable per-chip jobs, shards them across worker processes and
-persists results to a content-addressed JSONL store that supports resuming
-interrupted campaigns.
+into picklable per-chip jobs, shards them across supervised worker processes
+(with worker-death/hang recovery and poison-chunk quarantine — see
+:mod:`repro.campaign.supervisor`) and persists results to a checksummed,
+content-addressed JSONL store that supports resuming interrupted campaigns
+and verifying store integrity.  A deterministic chaos harness
+(:mod:`repro.campaign.chaos`) exercises every recovery path from tests.
 """
 
+from repro.campaign.chaos import CHAOS_ENV_VAR, ChaosError, ChaosSpec, resolve_chaos
 from repro.campaign.engine import CampaignEngine, CampaignReport, run_campaign
 from repro.campaign.jobs import (
     ChipJob,
@@ -20,11 +24,22 @@ from repro.campaign.jobs import (
 from repro.campaign.store import (
     CampaignStore,
     CampaignStoreError,
+    StoreVerification,
     campaign_fingerprint,
+    discover_stores,
+)
+from repro.campaign.supervisor import (
+    ChunkFailure,
+    SupervisingExecutor,
+    SupervisorConfig,
 )
 from repro.campaign.sweep import StrategySweepResult, run_strategy_sweep
 
 __all__ = [
+    "CHAOS_ENV_VAR",
+    "ChaosError",
+    "ChaosSpec",
+    "resolve_chaos",
     "CampaignEngine",
     "CampaignReport",
     "run_campaign",
@@ -37,7 +52,12 @@ __all__ = [
     "plan_job_chunks",
     "CampaignStore",
     "CampaignStoreError",
+    "StoreVerification",
     "campaign_fingerprint",
+    "discover_stores",
+    "ChunkFailure",
+    "SupervisingExecutor",
+    "SupervisorConfig",
     "StrategySweepResult",
     "run_strategy_sweep",
 ]

@@ -7,12 +7,24 @@ workload in two stages:
   is frozen into picklable :class:`~repro.campaign.jobs.ChipJob` units; the
   pending jobs are then partitioned into same-budget *chunks* of at most
   ``fat_batch`` jobs (:func:`~repro.campaign.jobs.plan_job_chunks`).
-* **Execute.** Whole chunks — not single chips — are dispatched to a
-  ``multiprocessing`` pool (``jobs > 1``) or executed inline (``jobs == 1``).
-  A multi-job chunk runs through one stacked
+* **Execute.** Whole chunks — not single chips — are dispatched to a set of
+  supervised worker processes (``jobs > 1``;
+  :class:`~repro.campaign.supervisor.SupervisingExecutor`) or executed
+  inline (``jobs == 1``).  A multi-job chunk runs through one stacked
   :class:`~repro.accelerator.batched.BatchedFaultTrainer`, so process-level
   parallelism and stacked-GEMM batching compose: ``--jobs N`` workers each
   retrain ``--fat-batch`` chips per dispatch.
+
+Execution is fault-tolerant: the supervisor detects dead workers (OOM kills,
+crashes) and hung chunks (per-chunk deadlines), reassigns the chunk to a
+healthy worker with capped retries and exponential backoff, and quarantines
+chunks that keep failing — the campaign completes every other chip and
+reports the casualties in ``CampaignResult.failed_chips`` (and the store's
+``quarantine.jsonl``) instead of crashing.  The inline executor applies the
+same retry/quarantine policy to in-process exceptions.  A deterministic
+chaos harness (:mod:`repro.campaign.chaos`, ``chaos=``/``--chaos``) injects
+worker SIGKILLs, hangs, transient exceptions and torn trailing writes at
+seeded points so every one of those recovery paths is exercised in tests.
 
 With a store base directory the engine persists every finished chunk to a
 content-addressed JSONL store (one fsync per chunk — the group-result
@@ -39,6 +51,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro.campaign.chaos import ChaosSchedule, ChaosSpec, resolve_chaos
 from repro.campaign.jobs import (
     ChipJob,
     build_jobs,
@@ -46,6 +59,11 @@ from repro.campaign.jobs import (
     plan_job_chunks,
 )
 from repro.campaign.store import CampaignStore, campaign_fingerprint
+from repro.campaign.supervisor import (
+    ChunkFailure,
+    SupervisingExecutor,
+    SupervisorConfig,
+)
 from repro.core.chips import ChipPopulation
 from repro.core.reduce import CampaignResult, ChipRetrainingResult, ReduceFramework
 from repro.core.selection import FixedEpochPolicy, RetrainingPolicy
@@ -100,14 +118,46 @@ def _initialize_worker(
     _WORKER_FAT_BATCH = fat_batch
 
 
-def _execute_chunk_in_worker(chunk: List[ChipJob]) -> List[ChipRetrainingResult]:
+def _execute_chunk_in_worker(
+    chunk: List[ChipJob], attempt: int = 0
+) -> List[ChipRetrainingResult]:
     assert _WORKER_FRAMEWORK is not None, "worker initializer did not run"
-    results = execute_job_chunk(_WORKER_FRAMEWORK, chunk, fat_batch=_WORKER_FAT_BATCH)
+    results = execute_job_chunk(
+        _WORKER_FRAMEWORK, chunk, fat_batch=_WORKER_FAT_BATCH, attempt=attempt
+    )
     if _WORKER_OBS_DIR is not None:
         # Atomic per-pid replace: cheap, idempotent, and always current so a
         # killed worker still leaves its latest snapshot behind.
         metrics.write_shard(_WORKER_OBS_DIR)
     return results
+
+
+def _supervised_worker_initializer(
+    preset,
+    disk_cache_dir: Optional[str],
+    fat_batch: int,
+    trace_dir: Optional[str],
+    metrics_enabled: bool,
+    chaos_schedule: Optional[ChaosSchedule],
+):
+    """Build the per-process chunk executor for the supervising executor.
+
+    Runs once in each (possibly respawned) worker: initializes the framework
+    and observability exactly like the old pool initializer, then returns
+    the ``execute(chunk, chunk_index, attempt)`` callable the supervisor
+    drives.  The chaos schedule travels with the initializer args, so a
+    replacement worker fires the same planned faults as the one it replaced.
+    """
+    _initialize_worker(preset, disk_cache_dir, fat_batch, trace_dir, metrics_enabled)
+
+    def execute(
+        chunk: List[ChipJob], chunk_index: int, attempt: int
+    ) -> List[ChipRetrainingResult]:
+        if chaos_schedule is not None:
+            chaos_schedule.maybe_inject(chunk_index, attempt)
+        return _execute_chunk_in_worker(chunk, attempt=attempt)
+
+    return execute
 
 
 def _start_method() -> str:
@@ -133,6 +183,7 @@ class CampaignReport:
     elapsed_seconds: float
     fingerprint: Optional[str] = None
     store_dir: Optional[Path] = None
+    failed: int = 0
 
     @property
     def chips_per_second(self) -> float:
@@ -149,6 +200,8 @@ class CampaignReport:
             f"jobs={self.jobs}",
             f"elapsed={format_duration(self.elapsed_seconds)}",
         ]
+        if self.failed:
+            parts.append(f"failed={self.failed}")
         if self.executed:
             parts.append(f"rate={self.chips_per_second:.2f}chips/s")
         if self.store_dir is not None:
@@ -175,10 +228,10 @@ class CampaignEngine:
     progress:
         Log one line per completed chip.
     chunk_size:
-        Override the number of *plan chunks* handed to a worker per dispatch
-        (the pool ``chunksize``).  The default of 1 keeps resume granularity
-        at one batched chunk; larger values amortize IPC at the cost of
-        coarser persistence.
+        Retained for backward compatibility (the old pool ``chunksize``).
+        The supervising executor always dispatches one chunk per worker at a
+        time — that is both the resume granularity and the unit of
+        reassignment — so values other than 1 are accepted but ignored.
     disk_cache_dir:
         Forwarded to workers so spawned processes can load the pre-trained
         state from the on-disk context cache instead of re-pre-training.
@@ -191,10 +244,29 @@ class CampaignEngine:
     heartbeat_seconds:
         Interval of the progress heartbeat (one INFO line with completed/
         total chips and chips/s throughput).  ``None`` disables it.
+    max_chunk_retries:
+        Re-executions allowed per chunk after a worker death, hang or
+        transient exception before the chunk is quarantined (default 2, so a
+        chunk runs at most 3 times).
+    chunk_timeout:
+        Fixed per-chunk deadline in seconds for hang detection.  ``None``
+        (the default) adapts the deadline to the observed chunk durations;
+        see :class:`~repro.campaign.supervisor.SupervisorConfig`.
+    chaos:
+        Deterministic fault-injection spec (a string in the ``--chaos``
+        grammar or a :class:`~repro.campaign.chaos.ChaosSpec`); ``None``
+        disables injection.  Chaos never changes committed values — retried
+        chunks are bit-identical — it only exercises the recovery paths.
+    supervisor_config:
+        Full :class:`~repro.campaign.supervisor.SupervisorConfig` override
+        (tests tune backoff/poll intervals through this).  When given, it is
+        used verbatim and ``max_chunk_retries``/``chunk_timeout`` are
+        ignored.
     """
 
     DEFAULT_FAT_BATCH = 8
     DEFAULT_HEARTBEAT_SECONDS = 30.0
+    DEFAULT_MAX_CHUNK_RETRIES = 2
 
     def __init__(
         self,
@@ -207,6 +279,10 @@ class CampaignEngine:
         disk_cache_dir: Optional[PathLike] = None,
         fat_batch: Optional[int] = None,
         heartbeat_seconds: Optional[float] = DEFAULT_HEARTBEAT_SECONDS,
+        max_chunk_retries: Optional[int] = None,
+        chunk_timeout: Optional[float] = None,
+        chaos: Optional[Union[str, ChaosSpec]] = None,
+        supervisor_config: Optional[SupervisorConfig] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -227,6 +303,19 @@ class CampaignEngine:
         self.disk_cache_dir = str(disk_cache_dir) if disk_cache_dir is not None else None
         self.fat_batch = int(fat_batch) if fat_batch is not None else self.DEFAULT_FAT_BATCH
         self.heartbeat_seconds = heartbeat_seconds
+        self.chaos_spec = resolve_chaos(chaos)
+        if supervisor_config is not None:
+            self.supervisor_config = supervisor_config
+        else:
+            # SupervisorConfig validates the retry/timeout ranges.
+            self.supervisor_config = SupervisorConfig(
+                max_chunk_retries=(
+                    int(max_chunk_retries)
+                    if max_chunk_retries is not None
+                    else self.DEFAULT_MAX_CHUNK_RETRIES
+                ),
+                chunk_timeout=chunk_timeout,
+            )
         self.last_report: Optional[CampaignReport] = None
 
     # -- public API ---------------------------------------------------------------
@@ -353,12 +442,17 @@ class CampaignEngine:
             "campaign.chips_completed", strategy=strategy.name
         )
         heartbeat_count = chips_counter.value
+        # Planned after chunking (the schedule needs the chunk count); the
+        # closure below reads the rebound value at call time.
+        chaos_schedule: Optional[ChaosSchedule] = None
 
         def record_chunk(results: Sequence[ChipRetrainingResult]) -> None:
             """Group-result protocol: persist + account one chunk at a time."""
             nonlocal done, executed, last_heartbeat, heartbeat_count
             if store is not None:
                 store.append_many(results)
+                if chaos_schedule is not None:
+                    chaos_schedule.maybe_tear(store)
             metrics.counter("campaign.chunks_recorded").inc()
             chips_counter.inc(len(results))
             for result in results:
@@ -413,6 +507,7 @@ class CampaignEngine:
                     phase,
                 )
 
+        failures: List[ChunkFailure] = []
         if pending:
             # Worker-aware planning: one big same-budget group still splits
             # across all requested workers instead of starving them.
@@ -420,6 +515,14 @@ class CampaignEngine:
             with trace.span("campaign.plan", stage="chunk", chips=len(pending)):
                 plan = plan_job_chunks(pending, self.fat_batch, workers=self.jobs)
             metrics.counter("campaign.chunks_planned").inc(len(plan))
+            if self.chaos_spec is not None:
+                chaos_schedule = self.chaos_spec.schedule(len(plan))
+                logger.warning(
+                    "campaign %s: chaos injection enabled (%s) over %d chunks",
+                    policy.name,
+                    self.chaos_spec.describe(),
+                    len(plan),
+                )
             batched_chips = sum(len(chunk) for chunk in plan if len(chunk) > 1)
             if batched_chips:
                 logger.info(
@@ -445,21 +548,48 @@ class CampaignEngine:
                 "campaign.execute", chunks=len(plan), chips=len(pending)
             ):
                 if self.jobs > 1 and len(plan) > 1 and not all_lookups:
-                    self._execute_parallel(plan, record_chunk)
+                    failures = self._execute_parallel(
+                        plan, record_chunk, chaos_schedule
+                    )
                 else:
-                    self._execute_inline(framework, plan, record_chunk)
+                    failures = self._execute_inline(
+                        framework, plan, record_chunk, chaos_schedule
+                    )
         elapsed = timer.stop()
         metrics.gauge("campaign.phase").set("finalize")
+
+        # Graceful degradation: quarantined chunks become per-chip failure
+        # records instead of an engine crash.  The store's quarantine file is
+        # rewritten every run — cleared when a previously-poisoned campaign
+        # completes cleanly — and a chaos-torn trailing fragment (or any other
+        # torn tail) is repaired before the store is handed back to callers.
+        failed_chips: List[Dict[str, object]] = [
+            record for failure in failures for record in failure.to_chip_records()
+        ]
+        if failed_chips:
+            metrics.counter("campaign.chips_failed").inc(len(failed_chips))
+            logger.error(
+                "campaign %s: %d chip(s) in %d quarantined chunk(s) failed "
+                "permanently: %s",
+                policy.name,
+                len(failed_chips),
+                len(failures),
+                ", ".join(str(record["chip_id"]) for record in failed_chips),
+            )
+        if store is not None:
+            store.write_quarantine([failure.to_dict() for failure in failures])
+            store.repair()
 
         self.last_report = CampaignReport(
             policy_name=policy.name,
             total_chips=len(job_list),
-            executed=len(pending),
+            executed=len(pending) - len(failed_chips),
             skipped=len(job_list) - len(pending),
             jobs=self.jobs,
             elapsed_seconds=elapsed,
             fingerprint=fingerprint,
             store_dir=store.directory if store is not None else None,
+            failed=len(failed_chips),
         )
         logger.info("campaign finished: %s", self.last_report.describe())
         if self.last_report.executed:
@@ -467,12 +597,13 @@ class CampaignEngine:
                 "campaign.chips_per_second", strategy=strategy.name
             ).set(self.last_report.chips_per_second)
 
-        results = [known[job.chip_id] for job in job_list]
+        results = [known[job.chip_id] for job in job_list if job.chip_id in known]
         return CampaignResult(
             policy_name=policy.name,
             target_accuracy=target_accuracy,
             clean_accuracy=clean_accuracy,
             results=results,
+            failed_chips=failed_chips,
         )
 
     def _write_observability_artifacts(self) -> None:
@@ -532,15 +663,77 @@ class CampaignEngine:
         framework,
         plan: Sequence[List[ChipJob]],
         record_chunk: Callable[[Sequence[ChipRetrainingResult]], None],
-    ) -> None:
+        chaos_schedule: Optional[ChaosSchedule] = None,
+    ) -> List[ChunkFailure]:
         """Execute the plan in-process, one chunk at a time (Step 3).
 
         Results are recorded (and persisted) after every chunk, so a killed
         campaign loses at most the chunk in flight rather than a whole
-        budget group.
+        budget group.  The supervisor's retry/quarantine policy applies here
+        too: a chunk that raises is retried (with backoff) up to
+        ``max_chunk_retries`` times and then quarantined, so one poisoned
+        chip cannot take down an otherwise healthy inline campaign.  Chaos
+        process faults (kill/hang) are downgraded to no-ops inline — killing
+        the only process is not a recoverable fault.
         """
-        for chunk in plan:
-            record_chunk(execute_job_chunk(framework, chunk, fat_batch=self.fat_batch))
+        config = self.supervisor_config
+        failures: List[ChunkFailure] = []
+        for index, chunk in enumerate(plan):
+            attempt = 0
+            while True:
+                try:
+                    if chaos_schedule is not None:
+                        chaos_schedule.maybe_inject(
+                            index, attempt, allow_process_faults=False
+                        )
+                    results = execute_job_chunk(
+                        framework, chunk, fat_batch=self.fat_batch, attempt=attempt
+                    )
+                except Exception as error:  # noqa: BLE001 - quarantine boundary
+                    attempt += 1
+                    if attempt > config.max_chunk_retries:
+                        metrics.counter("campaign.chunks_quarantined").inc()
+                        trace.instant(
+                            "campaign.chunk_quarantined",
+                            chunk=index,
+                            attempts=attempt,
+                            error=repr(error),
+                        )
+                        logger.error(
+                            "campaign: quarantining chunk %d after %d attempt(s): %r",
+                            index,
+                            attempt,
+                            error,
+                        )
+                        failures.append(
+                            ChunkFailure(
+                                chunk=list(chunk), attempts=attempt, error=repr(error)
+                            )
+                        )
+                        break
+                    metrics.counter("campaign.chunk_retries").inc()
+                    trace.instant(
+                        "campaign.chunk_retry",
+                        chunk=index,
+                        attempt=attempt,
+                        cause="exception",
+                    )
+                    backoff = config.backoff_seconds(attempt)
+                    logger.warning(
+                        "campaign: chunk %d failed inline (attempt %d/%d), "
+                        "retrying in %.2fs: %r",
+                        index,
+                        attempt,
+                        config.max_chunk_retries + 1,
+                        backoff,
+                        error,
+                    )
+                    if backoff > 0:
+                        time.sleep(backoff)
+                else:
+                    record_chunk(results)
+                    break
+        return failures
 
     # -- executor: parallel dispatch -------------------------------------------------
 
@@ -548,47 +741,53 @@ class CampaignEngine:
         self,
         plan: Sequence[List[ChipJob]],
         record_chunk: Callable[[Sequence[ChipRetrainingResult]], None],
-    ) -> None:
-        """Dispatch whole plan chunks to a worker pool.
+        chaos_schedule: Optional[ChaosSchedule] = None,
+    ) -> List[ChunkFailure]:
+        """Dispatch whole plan chunks to supervised worker processes.
 
         Each dispatch hands a worker one batched chunk (the unit of both
         stacked-GEMM coalescing and resume granularity); the worker runs it
         through its own framework — the population-shared FAT seed makes the
         result independent of which process executes which chunk — and the
-        parent records the whole group as it arrives.
+        parent records the whole group as it arrives.  The supervisor owns
+        all recovery decisions: it respawns dead workers, reassigns their
+        in-flight chunks, kills hung workers past the chunk deadline, and
+        quarantines chunks that exhaust their retry budget (returned as
+        :class:`~repro.campaign.supervisor.ChunkFailure` records).
         """
         workers = min(self.jobs, len(plan))
-        pool_chunksize = self.chunk_size if self.chunk_size is not None else 1
         mp_context = multiprocessing.get_context(_start_method())
         total_chips = sum(len(chunk) for chunk in plan)
         logger.info(
-            "campaign: dispatching %d chips in %d chunks across %d workers "
-            "(start=%s, fat_batch=%d, chunksize=%d)",
+            "campaign: dispatching %d chips in %d chunks across %d supervised "
+            "workers (start=%s, fat_batch=%d, max_chunk_retries=%d)",
             total_chips,
             len(plan),
             workers,
             mp_context.get_start_method(),
             self.fat_batch,
-            pool_chunksize,
+            self.supervisor_config.max_chunk_retries,
         )
         trace_dir = (
             str(trace.directory) if trace.enabled and trace.directory else None
         )
-        with mp_context.Pool(
-            processes=workers,
-            initializer=_initialize_worker,
+        executor = SupervisingExecutor(
+            plan,
+            record_chunk,
+            workers=workers,
+            mp_context=mp_context,
+            initializer=_supervised_worker_initializer,
             initargs=(
                 self.context.preset,
                 self.disk_cache_dir,
                 self.fat_batch,
                 trace_dir,
                 metrics.enabled,
+                chaos_schedule,
             ),
-        ) as pool:
-            for results in pool.imap_unordered(
-                _execute_chunk_in_worker, plan, chunksize=pool_chunksize
-            ):
-                record_chunk(results)
+            config=self.supervisor_config,
+        )
+        return executor.run()
 
 
 def run_campaign(

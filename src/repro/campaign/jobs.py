@@ -193,12 +193,15 @@ def execute_job_chunk(
     framework: ReduceFramework,
     chunk: Sequence[ChipJob],
     fat_batch: int = 8,
+    attempt: int = 0,
 ) -> List[ChipRetrainingResult]:
     """Execute one plan chunk; returns results in chunk order.
 
     Multi-job chunks run through the stacked batched trainer; single-job
     chunks (and ``fat_batch == 1``) take the per-job path.  Either way the
     results equal ``[execute_job(framework, job) for job in chunk]``.
+    ``attempt`` tags the chunk span so a trace distinguishes first executions
+    from supervisor retries after a worker death or hang.
     """
     chunk_list = list(chunk)
     if not chunk_list:
@@ -213,6 +216,7 @@ def execute_job_chunk(
         epochs=chunk_list[0].epochs,
         strategy=chunk_list[0].strategy,
         batched=len(chunk_list) > 1 and fat_batch > 1,
+        attempt=attempt,
     ):
         if len(chunk_list) <= 1 or fat_batch <= 1:
             results = [execute_job(framework, job) for job in chunk_list]

@@ -78,13 +78,18 @@ def run_strategy_sweep(
     fat_batch: Optional[int] = None,
     disk_cache_dir: Optional[PathLike] = None,
     heartbeat_seconds: Optional[float] = CampaignEngine.DEFAULT_HEARTBEAT_SECONDS,
+    max_chunk_retries: Optional[int] = None,
+    chunk_timeout: Optional[float] = None,
+    chaos: Optional[str] = None,
 ) -> StrategySweepResult:
     """Run one population through K mitigation strategies under one policy.
 
     ``strategies`` is a comma-separated spec string or a sequence of specs /
     strategy objects; each runs as its own resumable campaign through a
     shared engine, with triage shared among strategies whose initial
-    accuracy is measured under the same masks.
+    accuracy is measured under the same masks.  The fault-tolerance knobs
+    (``max_chunk_retries``, ``chunk_timeout``, ``chaos``) are forwarded to
+    the shared engine and therefore apply to every strategy arm.
     """
     strategy_list = parse_strategy_list(strategies)
 
@@ -97,6 +102,9 @@ def run_strategy_sweep(
         disk_cache_dir=disk_cache_dir,
         fat_batch=fat_batch,
         heartbeat_seconds=heartbeat_seconds,
+        max_chunk_retries=max_chunk_retries,
+        chunk_timeout=chunk_timeout,
+        chaos=chaos,
     )
     campaigns: "OrderedDict[str, CampaignResult]" = OrderedDict()
     reports: Dict[str, CampaignReport] = {}

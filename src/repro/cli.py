@@ -23,6 +23,14 @@ and prints the per-strategy comparison table — accuracy recovered, epochs
 spent, energy/timing overhead — plus the Pareto-optimal strategies.  Each
 strategy's campaign is its own resumable store under ``--campaign-dir``.
 
+Campaign execution is supervised (worker death/hang recovery, capped chunk
+retries, poison-chunk quarantine): ``--max-chunk-retries`` and
+``--chunk-timeout`` tune the fault-tolerance policy, ``--chaos SPEC`` (or the
+``REPRO_CHAOS`` environment variable) enables the deterministic fault
+injector, and ``repro-reduce verify-store [PATH]`` audits the integrity of
+every campaign store under a directory (torn tails, checksum mismatches,
+duplicate rows, corrupt manifests).
+
 The CLI is a thin wrapper over :mod:`repro.experiments` and
 :mod:`repro.campaign`; everything it does can also be driven from Python
 (see ``examples/``).
@@ -32,11 +40,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
-from repro.campaign import CampaignEngine
+from repro.campaign import CHAOS_ENV_VAR, CampaignEngine, ChaosSpec, discover_stores
 from repro.core.reporting import campaign_summary_table
 from repro.experiments import (
     ExperimentContext,
@@ -59,9 +68,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "command",
-        choices=["fig2a", "fig2b", "fig3", "campaign", "compare", "all", "info", "trace"],
+        choices=[
+            "fig2a", "fig2b", "fig3", "campaign", "compare", "all", "info",
+            "trace", "verify-store",
+        ],
         help="which experiment to run ('info' prints the preset summary; "
-        "'trace' summarizes a recorded campaign trace)",
+        "'trace' summarizes a recorded campaign trace; 'verify-store' audits "
+        "the integrity of campaign stores under a directory)",
     )
     parser.add_argument(
         "path",
@@ -69,7 +82,8 @@ def _build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="trace directory, merged trace.json or shard to summarize "
-        "(the 'trace' command only; default: ./trace)",
+        "(the 'trace' command; default: ./trace), or the store/base directory "
+        "to audit (the 'verify-store' command; default: ./campaigns)",
     )
     parser.add_argument(
         "--preset",
@@ -149,6 +163,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "or campaign store",
     )
     parser.add_argument(
+        "--max-chunk-retries",
+        type=int,
+        default=None,
+        help="re-executions allowed per chunk after a worker death, hang or "
+        "transient exception before the chunk is quarantined "
+        "(campaign/compare; default: 2)",
+    )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        help="fixed per-chunk deadline in seconds for hang detection "
+        "(campaign/compare; default: adaptive from observed chunk durations)",
+    )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection for the campaign executor, e.g. "
+        "'seed=7,kill=2,hang=1,exc=1,torn=1,hang_s=5' (campaign/compare; "
+        "also honoured via the REPRO_CHAOS environment variable). Injected "
+        "faults exercise the recovery paths without changing recorded values",
+    )
+    parser.add_argument(
         "--cache-dir",
         type=Path,
         default=None,
@@ -209,6 +247,9 @@ def _run_campaign(context: ExperimentContext, args: argparse.Namespace) -> Dict[
         progress=True,
         disk_cache_dir=args.cache_dir,
         fat_batch=args.fat_batch,
+        max_chunk_retries=args.max_chunk_retries,
+        chunk_timeout=args.chunk_timeout,
+        chaos=args.chaos,
     )
     if args.policy == "fixed":
         result = engine.run_fixed(population, args.fixed_epochs, strategy=args.strategy)
@@ -223,6 +264,11 @@ def _run_campaign(context: ExperimentContext, args: argparse.Namespace) -> Dict[
     if report.skipped:
         print(f"[repro-reduce] resumed: {report.skipped} chip(s) loaded from the store, "
               f"{report.executed} executed")
+    if result.failed_chips:
+        failed_ids = ", ".join(str(r["chip_id"]) for r in result.failed_chips)
+        print(f"[repro-reduce] WARNING: {len(result.failed_chips)} chip(s) "
+              f"quarantined after repeated failures: {failed_ids} "
+              f"(see quarantine.jsonl in the store)")
     payload: Dict[str, Any] = {"figure": "campaign", **result.to_dict()}
     payload["strategy"] = parse_strategy(args.strategy).name
     payload["report"] = {
@@ -230,6 +276,7 @@ def _run_campaign(context: ExperimentContext, args: argparse.Namespace) -> Dict[
         "total_chips": report.total_chips,
         "executed": report.executed,
         "skipped": report.skipped,
+        "failed": report.failed,
         "jobs": report.jobs,
         "elapsed_seconds": report.elapsed_seconds,
         "fingerprint": report.fingerprint,
@@ -253,6 +300,9 @@ def _run_compare(context: ExperimentContext, args: argparse.Namespace) -> Dict[s
         progress=True,
         fat_batch=args.fat_batch,
         disk_cache_dir=args.cache_dir,
+        max_chunk_retries=args.max_chunk_retries,
+        chunk_timeout=args.chunk_timeout,
+        chaos=args.chaos,
     )
     print(result.table())
     print()
@@ -291,14 +341,43 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--chips must be >= 1")
     if args.fixed_epochs < 0:
         parser.error("--fixed-epochs must be non-negative")
+    if args.max_chunk_retries is not None and args.max_chunk_retries < 0:
+        parser.error("--max-chunk-retries must be >= 0")
+    if args.chunk_timeout is not None and args.chunk_timeout <= 0:
+        parser.error("--chunk-timeout must be positive")
+    if args.chaos is None:
+        args.chaos = os.environ.get(CHAOS_ENV_VAR) or None
+    if args.chaos is not None:
+        try:
+            ChaosSpec.parse(args.chaos)
+        except ValueError as error:
+            parser.error(f"invalid --chaos spec: {error}")
     try:
         parse_strategy(args.strategy)
         parse_strategy_list(args.strategies)
     except ValueError as error:
         parser.error(str(error))
-    if args.path is not None and args.command != "trace":
-        parser.error(f"positional path is only valid with the 'trace' command, "
-                     f"not {args.command!r}")
+    if args.path is not None and args.command not in ("trace", "verify-store"):
+        parser.error(f"positional path is only valid with the 'trace' and "
+                     f"'verify-store' commands, not {args.command!r}")
+
+    if args.command == "verify-store":
+        # Pure store auditing: no context build needed.
+        base = args.path if args.path is not None else Path("campaigns")
+        stores = discover_stores(base)
+        if not stores:
+            print(f"[repro-reduce] no campaign stores found under {base}")
+            return 1
+        clean = True
+        for store in stores:
+            report = store.verify()
+            clean = clean and report.is_clean
+            print(report.describe())
+        print(
+            f"[repro-reduce] verified {len(stores)} store(s): "
+            f"{'all clean' if clean else 'INTEGRITY ISSUES FOUND'}"
+        )
+        return 0 if clean else 1
 
     if args.command == "trace":
         # Pure post-processing of a recorded trace: no context build needed.

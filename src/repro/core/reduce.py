@@ -100,9 +100,14 @@ class CampaignResult:
     target_accuracy: float
     clean_accuracy: float
     results: List[ChipRetrainingResult]
+    # Chips the supervisor gave up on (quarantined chunks): one record per
+    # chip with at least ``chip_id``, ``reason`` and ``attempts``.  A
+    # degraded campaign reports them here instead of crashing; the per-chip
+    # views below cover only the chips that completed.
+    failed_chips: List[Dict[str, object]] = dataclasses.field(default_factory=list)
 
     def __post_init__(self) -> None:
-        if not self.results:
+        if not self.results and not self.failed_chips:
             raise ValueError("a campaign result must contain at least one chip result")
 
     # -- per-chip views -------------------------------------------------------
@@ -178,13 +183,16 @@ class CampaignResult:
         ]
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "policy_name": self.policy_name,
             "target_accuracy": self.target_accuracy,
             "clean_accuracy": self.clean_accuracy,
             "summary": self.summary(),
             "chips": [dataclasses.asdict(result) for result in self.results],
         }
+        if self.failed_chips:
+            payload["failed_chips"] = list(self.failed_chips)
+        return payload
 
 
 def _build_chip_result(

@@ -175,6 +175,9 @@ def run_compare(
     progress: bool = False,
     fat_batch: Optional[int] = None,
     disk_cache_dir: Optional[PathLike] = None,
+    max_chunk_retries: Optional[int] = None,
+    chunk_timeout: Optional[float] = None,
+    chaos: Optional[str] = None,
 ) -> CompareResult:
     """Run the multi-strategy comparison on the given context.
 
@@ -182,8 +185,9 @@ def run_compare(
     from ``policy_name`` (``reduce-max``/``reduce-mean`` need the Step-1
     profile, which is computed once and shared; ``fixed`` uses
     ``fixed_epochs``).  Every strategy's campaign is dispatched through the
-    shared campaign engine, so ``jobs``, ``fat_batch`` and resumable stores
-    under ``campaign_dir`` apply per strategy.
+    shared campaign engine, so ``jobs``, ``fat_batch``, resumable stores
+    under ``campaign_dir`` and the fault-tolerance knobs
+    (``max_chunk_retries``, ``chunk_timeout``, ``chaos``) apply per strategy.
     """
     chips = population if population is not None else build_population(context, num_chips)
     if policy is None:
@@ -208,6 +212,9 @@ def run_compare(
         progress=progress,
         fat_batch=fat_batch,
         disk_cache_dir=disk_cache_dir,
+        max_chunk_retries=max_chunk_retries,
+        chunk_timeout=chunk_timeout,
+        chaos=chaos,
     )
 
     rows: List[Dict[str, object]] = []

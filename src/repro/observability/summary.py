@@ -12,6 +12,10 @@ worker process and per mitigation strategy:
   wall-clock, which makes pool starvation visible at a glance.
 * **Strategies** aggregate chunk time and chip counts by the ``strategy``
   span attribute, giving per-strategy chips/s straight from the trace.
+* **Faults** count the supervisor's recovery instants (worker deaths, chunk
+  retries, quarantined chunks) plus retried chunk executions (``campaign.chunk``
+  spans with ``attempt > 0``), so a trace shows at a glance whether the
+  campaign had to recover and how often.
 
 The ASCII rendering reuses :func:`repro.analysis.ascii_plot.bar_table`.
 """
@@ -141,6 +145,24 @@ def summarize_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
         for name, stats in sorted(strategies.items())
     ]
     chip_events = [e for e in events if e.get("name") == "campaign.chip"]
+    # Fault-recovery instants from the supervising executor: how often the
+    # campaign had to recover, visible straight from the trace.
+    faults = {
+        "worker_deaths": sum(
+            1 for e in events if e.get("name") == "campaign.worker_death"
+        ),
+        "chunk_retries": sum(
+            1 for e in events if e.get("name") == "campaign.chunk_retry"
+        ),
+        "chunks_quarantined": sum(
+            1 for e in events if e.get("name") == "campaign.chunk_quarantined"
+        ),
+        "retried_chunk_executions": sum(
+            1
+            for e in chunks
+            if int((e.get("attrs", {}) or {}).get("attempt", 0) or 0) > 0
+        ),
+    }
     return {
         "total_wall_seconds": total_wall,
         "runs": len(runs),
@@ -150,6 +172,7 @@ def summarize_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
         "workers": worker_rows,
         "strategies": strategy_rows,
         "chips_committed": len(chip_events),
+        "faults": faults,
     }
 
 
@@ -197,6 +220,16 @@ def render_trace_summary(summary: Dict[str, Any], width: int = 40) -> str:
                 width=width,
                 scale_max=100.0,
             )
+        )
+    faults = summary.get("faults", {})
+    if any(faults.values()):
+        lines.append("")
+        lines.append(
+            "Fault recovery: "
+            f"{faults.get('worker_deaths', 0)} worker death(s), "
+            f"{faults.get('chunk_retries', 0)} chunk retry(ies) "
+            f"({faults.get('retried_chunk_executions', 0)} re-execution(s)), "
+            f"{faults.get('chunks_quarantined', 0)} chunk(s) quarantined"
         )
     if summary["strategies"]:
         lines.append("")

@@ -88,12 +88,35 @@ def _resolve_dataclass_type(owner: type, annotation: Any) -> Any:
     return None
 
 
+def fsync_directory(path: Union[str, Path]) -> None:
+    """fsync a directory so a just-renamed entry survives a power cut.
+
+    ``os.replace`` makes a rename atomic with respect to concurrent readers,
+    but the *directory entry* itself is only durable once the directory's
+    metadata reaches disk.  Platforms where directories cannot be opened for
+    fsync (e.g. Windows) are silently skipped — the rename is still atomic,
+    just not power-cut durable there.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
 def save_json(data: Any, path: Union[str, Path], atomic: bool = False) -> Path:
     """Write JSON-compatible ``data`` (or a dataclass) to ``path``.
 
-    With ``atomic=True`` the payload is written to a sibling temp file and
-    moved into place with :func:`os.replace`, so concurrent readers (e.g.
-    campaign workers inspecting a store manifest) never observe a torn file.
+    With ``atomic=True`` the payload is written to a sibling temp file,
+    fsynced, moved into place with :func:`os.replace`, and the parent
+    directory is fsynced — so concurrent readers (e.g. campaign workers
+    inspecting a store manifest) never observe a torn file and the rename
+    survives a power cut.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -102,7 +125,10 @@ def save_json(data: Any, path: Union[str, Path], atomic: bool = False) -> Path:
         tmp = path.with_name(path.name + ".tmp")
         with tmp.open("w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
+        fsync_directory(path.parent)
     else:
         with path.open("w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import pickle
 
 import pytest
@@ -18,6 +19,7 @@ from repro.campaign import (
     execute_job,
     plan_job_chunks,
 )
+from repro.campaign.store import decode_result_line
 from repro.cli import main
 from repro.core.chips import ChipPopulation
 from repro.core.selection import FixedEpochPolicy
@@ -311,6 +313,139 @@ class TestStoreAndResume:
             CampaignStore.open(tmp_path, colliding, manifest={"policy": policy.name})
 
 
+class TestStoreIntegrity:
+    """Checksummed lines, manifest corruption, ENOSPC and verify-store."""
+
+    def _store_with_results(self, framework, population, tmp_path):
+        jobs = build_jobs(framework, population, FixedEpochPolicy(0.0))
+        results = [execute_job(framework, job) for job in jobs]
+        store = CampaignStore.open(tmp_path, "e" * 64, manifest={"policy": "p"})
+        store.append_many(results)
+        return store, results
+
+    def test_lines_are_checksummed_and_verify_clean(
+        self, framework, population, tmp_path
+    ):
+        store, results = self._store_with_results(framework, population, tmp_path)
+        for line in store.results_path.read_text().splitlines():
+            assert '"checksum"' in line
+            result, status = decode_result_line(line)
+            assert status == "ok"
+        report = store.verify()
+        assert report.is_clean
+        assert report.valid == len(results)
+        assert report.legacy_unchecksummed == 0
+        assert "clean" in report.describe()
+
+    def test_silent_corruption_detected_and_chip_re_executed(
+        self, framework, population, tmp_path
+    ):
+        """A flipped digit in a still-parseable line — which the pre-checksum
+        reader accepted as a valid row — is now detected and skipped."""
+        store, results = self._store_with_results(framework, population, tmp_path)
+        lines = store.results_path.read_text().splitlines()
+        row = json.loads(lines[0])
+        row["accuracy_after"] = row["accuracy_after"] + 0.125  # silent bit-rot
+        corrupted = json.dumps(row, sort_keys=True)
+        assert json.loads(corrupted)  # the old reader would have taken it
+        store.results_path.write_text("\n".join([corrupted] + lines[1:]) + "\n")
+
+        assert decode_result_line(corrupted) == (None, "checksum-mismatch")
+        completed = store.completed()
+        assert results[0].chip_id not in completed
+        assert len(completed) == len(results) - 1
+        report = store.verify()
+        assert not report.is_clean
+        assert report.checksum_mismatches == [1]
+
+    def test_legacy_unchecksummed_lines_remain_readable(
+        self, framework, population, tmp_path
+    ):
+        store, results = self._store_with_results(framework, population, tmp_path)
+        # Rewrite the store as a pre-checksum (v4) store would have left it.
+        store.results_path.write_text(
+            "".join(json.dumps(r.to_dict(), sort_keys=True) + "\n" for r in results)
+        )
+        assert list(store.completed().values()) == results
+        report = store.verify()
+        assert report.is_clean
+        assert report.legacy_unchecksummed == len(results)
+        # compact() canonicalizes legacy lines to checksummed ones.
+        assert store.compact() == len(results)
+        assert store.verify().legacy_unchecksummed == 0
+        assert list(store.completed().values()) == results
+
+    def test_torn_tail_repaired_before_next_append(
+        self, framework, population, tmp_path
+    ):
+        store, results = self._store_with_results(framework, population, tmp_path)
+        with store.results_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"chip_id": "torn-fragm')
+        assert store.verify().torn_tail
+        store.append(results[0])
+        report = store.verify()
+        assert not report.torn_tail
+        assert report.is_clean or set(report.duplicates) == {results[0].chip_id}
+        assert len(store.completed()) == len(results)
+
+    def test_corrupt_manifest_with_results_refuses_open(
+        self, framework, population, tmp_path
+    ):
+        store, _ = self._store_with_results(framework, population, tmp_path)
+        store.manifest_path.write_text("{ not json")
+        with pytest.raises(CampaignStoreError, match="refusing"):
+            CampaignStore.open(tmp_path, "e" * 64, manifest={"policy": "p"})
+        assert not store.verify().is_clean
+        assert store.verify().manifest_error
+
+    def test_corrupt_manifest_of_empty_store_is_overwritten(self, tmp_path):
+        store = CampaignStore.open(tmp_path, "f" * 64, manifest={"policy": "p"})
+        store.manifest_path.write_text("{ not json")
+        reopened = CampaignStore.open(tmp_path, "f" * 64, manifest={"policy": "p"})
+        assert reopened.read_manifest()["fingerprint"] == "f" * 64
+
+    def test_failed_append_rolls_back_and_raises(
+        self, framework, population, tmp_path, monkeypatch
+    ):
+        import errno
+
+        store, results = self._store_with_results(framework, population, tmp_path)
+        before = store.results_path.read_bytes()
+
+        def no_space(fd):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr(os, "fsync", no_space)
+        with pytest.raises(CampaignStoreError, match="disk full"):
+            store.append_many(results[:1])
+        monkeypatch.undo()
+        # The half-flushed group never masquerades as durable rows.
+        assert store.results_path.read_bytes() == before
+        assert list(store.completed().values()) == results
+
+    def test_verify_store_cli_reports_corruption(
+        self, framework, population, tmp_path, capsys
+    ):
+        store, _ = self._store_with_results(framework, population, tmp_path)
+        assert main(["verify-store", str(tmp_path)]) == 0
+        assert "all clean" in capsys.readouterr().out
+
+        lines = store.results_path.read_text().splitlines()
+        row = json.loads(lines[0])
+        row["epochs_trained"] = 99.0
+        store.results_path.write_text(
+            "\n".join([json.dumps(row, sort_keys=True)] + lines[1:]) + "\n"
+        )
+        assert main(["verify-store", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "checksum mismatch" in out
+        assert "INTEGRITY ISSUES FOUND" in out
+
+    def test_verify_store_cli_without_stores(self, tmp_path, capsys):
+        assert main(["verify-store", str(tmp_path / "nowhere")]) == 1
+        assert "no campaign stores" in capsys.readouterr().out
+
+
 class TestHeartbeat:
     def _capture(self):
         import logging
@@ -491,6 +626,11 @@ class TestCampaignCli:
             ["campaign", "--preset", "smoke", "--fat-batch", "0"],
             ["campaign", "--preset", "smoke", "--chips", "0"],
             ["campaign", "--preset", "smoke", "--fixed-epochs", "-1"],
+            ["campaign", "--preset", "smoke", "--max-chunk-retries", "-1"],
+            ["campaign", "--preset", "smoke", "--chunk-timeout", "0"],
+            ["campaign", "--preset", "smoke", "--chaos", "kill"],
+            ["campaign", "--preset", "smoke", "--chaos", "frobnicate=1"],
+            ["campaign", "--preset", "smoke", "--chaos", "kill=many"],
         ):
             with pytest.raises(SystemExit) as excinfo:
                 main(argv)

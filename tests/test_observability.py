@@ -337,18 +337,26 @@ class TestCampaignTracing:
         real_execute = engine_module.execute_job_chunk
         calls = {"count": 0}
 
-        def dying_execute(framework, chunk, fat_batch=8):
+        def dying_execute(framework, chunk, fat_batch=8, attempt=0):
             if calls["count"] >= 1:
                 raise RuntimeError("simulated kill")
             calls["count"] += 1
-            return real_execute(framework, chunk, fat_batch=fat_batch)
+            return real_execute(framework, chunk, fat_batch=fat_batch, attempt=attempt)
 
         monkeypatch.setattr(engine_module, "execute_job_chunk", dying_execute)
+        # Inline exceptions no longer crash the campaign: with retries
+        # exhausted the failing chunks are quarantined and the run completes
+        # with failed_chips (max_chunk_retries=0 skips the backoff sleeps).
         engine = CampaignEngine(
-            smoke_context, jobs=1, fat_batch=1, store_base=tmp_path / "campaigns"
+            smoke_context,
+            jobs=1,
+            fat_batch=1,
+            store_base=tmp_path / "campaigns",
+            max_chunk_retries=0,
         )
-        with pytest.raises(RuntimeError, match="simulated kill"):
-            engine.run(population, policy)
+        first = engine.run(population, policy)
+        assert len(first.failed_chips) == len(population) - 1
+        assert engine.last_report.executed == 1
 
         monkeypatch.setattr(engine_module, "execute_job_chunk", real_execute)
         resumed_engine = CampaignEngine(
@@ -358,6 +366,7 @@ class TestCampaignTracing:
         trace.disable()
 
         assert resumed_engine.last_report.skipped == 1
+        assert not resumed.failed_chips
         events = merge_shards(tmp_path / "trace")
         chips = [e["attrs"]["chip_id"] for e in events if e["name"] == "campaign.chip"]
         # Chip events are emitted only after the store append: the chip
