@@ -60,6 +60,7 @@ from repro.data.dataset import Dataset
 from repro.nn import functional as F
 from repro.nn.functional import (
     _bn_axes,
+    _pair,
     _bn_eval_forward,
     _bn_train_backward,
     _bn_train_forward,
@@ -69,6 +70,8 @@ from repro.nn.functional import (
     im2col_t,
 )
 from repro.nn.tensor import Function, is_grad_enabled
+from repro.backends import ChainCache, recorded, resolve_backend
+from repro.backends.registry import Backend
 from repro.observability import metrics, trace
 
 MaskDict = Dict[str, np.ndarray]
@@ -112,6 +115,20 @@ def _cached_lowering(cache, key, compute):
     elif metrics.enabled:
         metrics.counter("lowering_cache.hits").inc()
     return entry
+
+
+def _conv_output_hw(shape: Tuple[int, ...], module: nn.Module) -> Tuple[int, int]:
+    """Spatial output dims of ``module`` on an NCHW input of ``shape``.
+
+    Mirrors :func:`im2col`'s arithmetic so fold geometry can be derived
+    without waiting for the lowering (which may come from a cache).
+    """
+    kh, kw = _pair(module.kernel_size)
+    sh, sw = _pair(module.stride)
+    ph, pw = _pair(module.padding)
+    out_h = (shape[2] + 2 * ph - kh) // sh + 1
+    out_w = (shape[3] + 2 * pw - kw) // sw + 1
+    return out_h, out_w
 
 
 class UnsupportedModelError(RuntimeError):
@@ -186,12 +203,23 @@ class BatchedFaultEvaluator:
         model: nn.Module,
         mask_sets: Sequence[MaskDict],
         lowering_cache: Optional[LoweringCache] = None,
+        backend: Optional[Union[str, Backend]] = None,
     ) -> None:
         if not mask_sets:
             raise ValueError("mask_sets must contain at least one chip")
         self.model = model
         self.num_chips = len(mask_sets)
         self._lowering_cache = lowering_cache
+        # Captured-graph execution: None keeps the historical purely-eager
+        # path.  The chain cache must not outlive this evaluator — captured
+        # graphs freeze the model's buffer *objects* (weights are read live),
+        # and the evaluator contract already pins those for its lifetime.
+        self._backend = resolve_backend(backend)
+        self._chain_cache = (
+            ChainCache(self._backend, name="eval.forward")
+            if self._backend is not None
+            else None
+        )
         # Index of the eval batch currently in flight (None outside
         # evaluate_accuracy: inputs of unknown identity are never cached).
         self._batch_index: Optional[int] = None
@@ -260,53 +288,123 @@ class BatchedFaultEvaluator:
         """
         rows = gemm_input.shape[0]
         out = gemm_input @ layer.wide_weights()  # (P, B * N_out)
-        out = out.reshape(rows, self.num_chips, -1).transpose(1, 0, 2)
-        self._shared_prefix = False
-        return out
+        return out.reshape(rows, self.num_chips, -1).transpose(1, 0, 2)
+
+    # Each hot step below executes through :func:`recorded` so an active
+    # graph capture sees the evaluator as a chain of named IR nodes
+    # (``eval.im2col -> eval.gemm -> eval.bias -> eval.fold_*``).  Outside a
+    # capture, ``recorded`` is a direct call — the eager path is unchanged.
+
+    def _gemm_kernel(self, layer: _BatchedLayer, shared: bool):
+        if shared:
+            return lambda data: self._expand_shared(data, layer)
+
+        def folded_gemm(data: np.ndarray) -> np.ndarray:
+            per_chip = data.shape[0] // self.num_chips
+            return np.matmul(
+                data.reshape(self.num_chips, per_chip, data.shape[1]), layer.stacked_t
+            )
+
+        return folded_gemm
+
+    @staticmethod
+    def _bias_kernel(module: nn.Module):
+        def add_bias(out: np.ndarray) -> np.ndarray:
+            out += module.bias.data
+            return out
+
+        return add_bias
 
     def _linear_forward(self, layer: _BatchedLayer):
         def forward(x: nn.Tensor) -> nn.Tensor:
             data = x.data
             if data.ndim != 2:
-                data = data.reshape(data.shape[0], -1)
-            if self._shared_prefix:
-                out = self._expand_shared(data, layer)  # (B, n, O)
-            else:
-                total, k = data.shape
-                per_chip = total // self.num_chips
-                out = np.matmul(data.reshape(self.num_chips, per_chip, k), layer.stacked_t)
-            bias = layer.module.bias
-            if bias is not None:
-                out += bias.data
-            return nn.Tensor(out.reshape(out.shape[0] * out.shape[1], -1))
+                data = recorded(
+                    "eval.flatten", (data,), lambda d: d.reshape(d.shape[0], -1)
+                )
+            shared = self._shared_prefix
+            self._shared_prefix = False
+            out = recorded(
+                "eval.gemm",
+                (data,),
+                self._gemm_kernel(layer, shared),
+                attrs={"layer": layer, "shared": shared},
+            )
+            if layer.module.bias is not None:
+                out = recorded(
+                    "eval.bias",
+                    (out,),
+                    self._bias_kernel(layer.module),
+                    attrs={"module": layer.module},
+                )
+            out = recorded(
+                "eval.fold2d", (out,), lambda o: o.reshape(o.shape[0] * o.shape[1], -1)
+            )
+            return nn.Tensor(out)
 
         return forward
+
+    def _im2col_kernel(self, layer: _BatchedLayer, shared: bool):
+        module = layer.module
+
+        def lower_cols(data: np.ndarray) -> np.ndarray:
+            lower = lambda: im2col(data, module.kernel_size, module.stride, module.padding)
+            # ``_batch_index`` is read at call time (not capture time) so a
+            # replayed graph consults the lowering cache for the batch that
+            # is actually in flight.
+            if shared and self._lowering_cache is not None and self._batch_index is not None:
+                cols, _, _ = _cached_lowering(
+                    self._lowering_cache, (layer.name, self._batch_index), lower
+                )
+            else:
+                cols, _, _ = lower()
+            return cols
+
+        return lower_cols
+
+    @staticmethod
+    def _fold_nchw_kernel(out_h: int, out_w: int):
+        def fold(out: np.ndarray) -> np.ndarray:
+            folded = out.shape[0] * out.shape[1] // (out_h * out_w)
+            return np.ascontiguousarray(
+                out.reshape(folded, out_h, out_w, -1).transpose(0, 3, 1, 2)
+            )
+
+        return fold
 
     def _conv_forward(self, layer: _BatchedLayer):
         def forward(x: nn.Tensor) -> nn.Tensor:
             module = layer.module
             data = x.data
-            lower = lambda: im2col(data, module.kernel_size, module.stride, module.padding)
-            if self._shared_prefix and self._lowering_cache is not None and self._batch_index is not None:
-                cols, out_h, out_w = _cached_lowering(
-                    self._lowering_cache, (layer.name, self._batch_index), lower
+            shared = self._shared_prefix
+            self._shared_prefix = False
+            out_h, out_w = _conv_output_hw(data.shape, module)
+            cols = recorded(
+                "eval.im2col",
+                (data,),
+                self._im2col_kernel(layer, shared),
+                attrs={"layer": layer, "shared": shared},
+            )
+            out = recorded(
+                "eval.gemm",
+                (cols,),
+                self._gemm_kernel(layer, shared),
+                attrs={"layer": layer, "shared": shared},
+            )
+            if module.bias is not None:
+                out = recorded(
+                    "eval.bias",
+                    (out,),
+                    self._bias_kernel(module),
+                    attrs={"module": module},
                 )
-            else:
-                cols, out_h, out_w = lower()
-            if self._shared_prefix:
-                out = self._expand_shared(cols, layer)  # (B, n*oh*ow, O)
-            else:
-                rows_per_chip = cols.shape[0] // self.num_chips
-                out = np.matmul(
-                    cols.reshape(self.num_chips, rows_per_chip, cols.shape[1]),
-                    layer.stacked_t,
-                )
-            bias = module.bias
-            if bias is not None:
-                out += bias.data
-            folded = out.shape[0] * out.shape[1] // (out_h * out_w)
-            out = out.reshape(folded, out_h, out_w, -1).transpose(0, 3, 1, 2)
-            return nn.Tensor(np.ascontiguousarray(out))
+            out = recorded(
+                "eval.fold_nchw",
+                (out,),
+                self._fold_nchw_kernel(out_h, out_w),
+                attrs={"out_h": out_h, "out_w": out_w},
+            )
+            return nn.Tensor(out)
 
         return forward
 
@@ -337,11 +435,25 @@ class BatchedFaultEvaluator:
         """Logits for one (shared) input batch under every chip: (B, n, C)."""
         self._shared_prefix = True
         logits = self.model(nn.Tensor(inputs)).data
+        chips = self.num_chips
         if self._shared_prefix:
             # No masked layer executed (empty mask sets): every chip sees the
             # same logits.
-            return np.broadcast_to(logits[None], (self.num_chips,) + logits.shape)
-        return logits.reshape(self.num_chips, inputs.shape[0], -1)
+            return recorded(
+                "eval.broadcast_logits",
+                (logits,),
+                lambda l: np.broadcast_to(l[None], (chips,) + l.shape),
+            )
+        n = inputs.shape[0]
+        return recorded(
+            "eval.unfold_logits", (logits,), lambda l: l.reshape(chips, n, -1)
+        )
+
+    def _run_forward(self, inputs: np.ndarray) -> np.ndarray:
+        """One batch through the selected backend (or purely eagerly)."""
+        if self._chain_cache is None:
+            return self._forward_all_chips(inputs)
+        return self._chain_cache.run((inputs,), self._forward_all_chips)
 
     # -- evaluation ----------------------------------------------------------
 
@@ -352,7 +464,7 @@ class BatchedFaultEvaluator:
         self.model.eval()
         try:
             with nn.no_grad(), self._patched():
-                return self._forward_all_chips(data).copy()
+                return self._run_forward(data).copy()
         finally:
             if was_training:
                 self.model.train()
@@ -373,7 +485,7 @@ class BatchedFaultEvaluator:
                 for batch_index, (inputs, targets) in enumerate(loader):
                     self._batch_index = batch_index
                     n = inputs.data.shape[0]
-                    logits = self._forward_all_chips(inputs.data)
+                    logits = self._run_forward(inputs.data)
                     predictions = logits.argmax(axis=-1)
                     correct += (predictions == np.asarray(targets)[None, :]).sum(axis=1)
                     total += n
@@ -393,6 +505,7 @@ def evaluate_chip_accuracies(
     batch_size: int = 128,
     chip_chunk: int = DEFAULT_CHIP_CHUNK,
     lowering_cache: Optional[LoweringCache] = None,
+    backend: Optional[Union[str, Backend]] = None,
 ) -> List[float]:
     """Accuracy of ``model`` under each chip's masks, batched in chip chunks.
 
@@ -415,7 +528,10 @@ def evaluate_chip_accuracies(
     accuracies: List[float] = []
     for start in range(0, len(mask_sets), chip_chunk):
         evaluator = BatchedFaultEvaluator(
-            model, mask_sets[start:start + chip_chunk], lowering_cache=cache
+            model,
+            mask_sets[start:start + chip_chunk],
+            lowering_cache=cache,
+            backend=backend,
         )
         accuracies.extend(evaluator.evaluate_accuracy(data, batch_size=batch_size))
     return accuracies
@@ -457,6 +573,8 @@ class _StackedLinearFunction(Function):
     ``shared=False``: ``x`` is folded ``(B * n, K)`` and forward/backward are
     stacked batched matmuls whose slices mirror the serial GEMMs exactly.
     """
+
+    capture_name = "stacked_linear"
 
     def forward(
         self,
@@ -595,6 +713,8 @@ class _StackedConv2dFunction(Function):
     :class:`~repro.nn.functional.Conv2dFunction` does.
     """
 
+    capture_name = "stacked_conv2d"
+
     def forward(
         self,
         x: np.ndarray,
@@ -702,6 +822,8 @@ class _StackedNllLossFunction(Function):
     backward from the summed losses is bit-identical to B serial backwards.
     """
 
+    capture_name = "stacked_nll_loss"
+
     def forward(
         self,
         log_probs: np.ndarray,
@@ -802,6 +924,8 @@ class _StackedBatchNormFunction(Function):
     the per-chip running-statistics update.
     """
 
+    capture_name = "stacked_batch_norm"
+
     def forward(
         self,
         x: np.ndarray,
@@ -894,6 +1018,12 @@ class _StackedNormLayer:
     running_var: np.ndarray  # (B, C) float32
 
 
+def _keep_multiplier_kernel(values: np.ndarray, keep: np.ndarray) -> np.ndarray:
+    """Keep-multiplier mask enforcement, shared as an IR op kernel."""
+    np.multiply(values, keep, out=values)
+    return values
+
+
 @dataclasses.dataclass
 class _StackedLayer:
     """One parametric layer with its B stacked per-chip weights (and masks)."""
@@ -906,11 +1036,19 @@ class _StackedLayer:
 
     def enforce_weight(self) -> None:
         if self.keep is not None:
-            np.multiply(self.weight.data, self.keep, out=self.weight.data)
+            recorded(
+                "mask.keep_multiplier",
+                (self.weight.data, self.keep),
+                _keep_multiplier_kernel,
+            )
 
     def enforce_grad(self) -> None:
         if self.keep is not None and self.weight.grad is not None:
-            np.multiply(self.weight.grad, self.keep, out=self.weight.grad)
+            recorded(
+                "mask.keep_multiplier",
+                (self.weight.grad, self.keep),
+                _keep_multiplier_kernel,
+            )
 
 
 class BatchedFaultTrainer:
@@ -948,6 +1086,7 @@ class BatchedFaultTrainer:
         train_data: Union[Dataset, DataLoader],
         eval_data: Union[Dataset, DataLoader],
         config=None,
+        backend: Optional[Union[str, Backend]] = None,
     ) -> None:
         from repro.training import (
             TrainingConfig,
@@ -987,6 +1126,17 @@ class BatchedFaultTrainer:
         # ``_eval_batch_index`` is set inside :meth:`evaluate`.
         self._eval_lowering: LoweringCache = {}
         self._eval_batch_index: Optional[int] = None
+        # Captured-graph execution of the checkpoint-eval hot path (training
+        # steps always run eagerly: they drive autograd).  Captured eval
+        # graphs read the stacked weights, biases and running statistics
+        # *live*, so replay tracks every optimizer step and mask enforcement
+        # between checkpoints.
+        self._backend = resolve_backend(backend)
+        self._eval_chain_cache = (
+            ChainCache(self._backend, name="fat.eval")
+            if self._backend is not None
+            else None
+        )
 
         self._layers: List[_StackedLayer] = []
         self._norm_layers: List[_StackedNormLayer] = []
@@ -1101,6 +1251,21 @@ class BatchedFaultTrainer:
 
         return forward
 
+    def _eval_lowering_kernel(self, layer: _StackedLayer):
+        module = layer.module
+
+        def lower_cols(data: np.ndarray) -> np.ndarray:
+            # ``_eval_batch_index`` is read at call time so a replayed graph
+            # consults the lowering cache for the batch actually in flight.
+            cols, _, _ = _cached_lowering(
+                self._eval_lowering,
+                (layer.name, self._eval_batch_index),
+                lambda: im2col_t(data, module.kernel_size, module.stride, module.padding),
+            )
+            return cols
+
+        return lower_cols
+
     def _conv_forward(self, layer: _StackedLayer):
         def forward(x: nn.Tensor) -> nn.Tensor:
             module = layer.module
@@ -1112,13 +1277,14 @@ class BatchedFaultTrainer:
                 # to the first stacked layer is a pure function of the batch
                 # (the prefix holds no parametric or stochastic layers), so
                 # its lowering is identical at every checkpoint and cached.
-                lowering = _cached_lowering(
-                    self._eval_lowering,
-                    (layer.name, self._eval_batch_index),
-                    lambda: im2col_t(
-                        x.data, module.kernel_size, module.stride, module.padding
-                    ),
+                out_h, out_w = _conv_output_hw(x.shape, module)
+                cols = recorded(
+                    "fat.eval_lowering",
+                    (x.data,),
+                    self._eval_lowering_kernel(layer),
+                    attrs={"layer": layer},
                 )
+                lowering = (cols, out_h, out_w)
             return _StackedConv2dFunction.apply(
                 x, layer.weight, layer.bias,
                 module.stride, module.padding, self.num_chips, shared, lowering,
@@ -1158,8 +1324,23 @@ class BatchedFaultTrainer:
             # Eval mode: per-chip running statistics as constants, through
             # the same arithmetic helper as the serial eval path (slice for
             # slice bit-identical).  Evaluation runs under no_grad, so no
-            # autograd node is needed.
-            data = x.data
+            # autograd node is needed.  Recorded as one composite IR node
+            # whose kernel reads the stacked parameters and running
+            # statistics live, so replayed checkpoints see post-step values.
+            out = recorded(
+                "eval.stacked_bn",
+                (x.data,),
+                self._stacked_bn_eval_kernel(layer, shared),
+                attrs={"layer": layer, "shared": shared},
+            )
+            return nn.Tensor(out)
+
+        return forward
+
+    def _stacked_bn_eval_kernel(self, layer: _StackedNormLayer, shared: bool):
+        module = layer.module
+
+        def stacked_bn_eval(data: np.ndarray) -> np.ndarray:
             _, param_shape = _bn_axes(data.ndim)
             per_chip = data.shape[0] if shared else data.shape[0] // self.num_chips
             out = np.empty(
@@ -1176,9 +1357,9 @@ class BatchedFaultTrainer:
                     layer.running_var[chip].reshape(param_shape),
                     module.eps,
                 )
-            return nn.Tensor(out)
+            return out
 
-        return forward
+        return stacked_bn_eval
 
     def _dropout_forward(self, module: nn.Module):
         def forward(x: nn.Tensor) -> nn.Tensor:
@@ -1280,6 +1461,23 @@ class BatchedFaultTrainer:
             [np.mean(np.ascontiguousarray(stacked[:, chip])) for chip in range(self.num_chips)]
         )
 
+    def _eval_forward_all_chips(self, inputs: np.ndarray) -> np.ndarray:
+        """Per-chip logits for one eval batch: ``(B, n, classes)``."""
+        self._shared_prefix = True
+        logits = self.model(nn.Tensor(inputs)).data
+        chips = self.num_chips
+        if self._shared_prefix:
+            # No stacked layer executed: all chips share logits.
+            return recorded(
+                "eval.broadcast_logits",
+                (logits,),
+                lambda l: np.broadcast_to(l[None], (chips,) + l.shape),
+            )
+        n = inputs.shape[0]
+        return recorded(
+            "eval.unfold_logits", (logits,), lambda l: l.reshape(chips, n, -1)
+        )
+
     def evaluate(self) -> List[float]:
         """Per-chip top-1 accuracy on the eval data (mirrors ``Trainer.evaluate``)."""
         from repro.training import _as_eval_loader as _training_eval_loader
@@ -1294,15 +1492,15 @@ class BatchedFaultTrainer:
                 "fat.eval_checkpoint", chips=self.num_chips
             ), nn.no_grad(), self._patched():
                 for batch_index, (inputs, targets) in enumerate(loader):
-                    self._shared_prefix = True
                     self._eval_batch_index = batch_index
-                    n = inputs.data.shape[0]
-                    logits = self.model(inputs).data
-                    if self._shared_prefix:
-                        # No stacked layer executed: all chips share logits.
-                        logits = np.broadcast_to(logits[None], (self.num_chips,) + logits.shape)
+                    data = inputs.data
+                    n = data.shape[0]
+                    if self._eval_chain_cache is None:
+                        logits = self._eval_forward_all_chips(data)
                     else:
-                        logits = logits.reshape(self.num_chips, n, -1)
+                        logits = self._eval_chain_cache.run(
+                            (data,), self._eval_forward_all_chips
+                        )
                     predictions = logits.argmax(axis=-1)
                     correct += (predictions == np.asarray(targets)[None, :]).sum(axis=1)
                     total += n

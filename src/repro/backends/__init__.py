@@ -1,0 +1,62 @@
+"""Pluggable compute backends behind the Function layer.
+
+The substrate's hot chains (stacked/folded GEMM evaluation, the autograd
+ops they compose with) can be captured into a small op-graph IR and
+replayed through a selectable lowering:
+
+* ``numpy`` — reference executor, replays the exact eager kernels,
+  bit-identical to eager execution, always available;
+* ``fused`` — merges im2col -> GEMM -> bias -> ReLU chains into single
+  kernels (numba-JIT'd when available, interpreted otherwise).
+
+See README "Compute backends" for the capture -> lower -> execute
+architecture and how to add a backend.
+"""
+
+from repro.backends.capture import (
+    ChainCache,
+    GraphCapture,
+    capture_graph,
+    is_capturing,
+    record_function,
+    recorded,
+)
+from repro.backends.errors import BackendError, describe_operands
+from repro.backends.graph import Graph, Node, count_consumers, signature_of
+from repro.backends.registry import (
+    BACKEND_ENV_VAR,
+    Backend,
+    available_backends,
+    env_backend_name,
+    get_backend,
+    numba_available,
+    register_backend,
+    resolve_backend,
+)
+
+# Importing the executor modules registers the built-in backends.
+from repro.backends import numpy_backend as _numpy_backend  # noqa: F401,E402
+from repro.backends import fused as _fused  # noqa: F401,E402
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "Backend",
+    "BackendError",
+    "ChainCache",
+    "Graph",
+    "GraphCapture",
+    "Node",
+    "available_backends",
+    "capture_graph",
+    "count_consumers",
+    "describe_operands",
+    "env_backend_name",
+    "get_backend",
+    "is_capturing",
+    "numba_available",
+    "record_function",
+    "recorded",
+    "register_backend",
+    "resolve_backend",
+    "signature_of",
+]

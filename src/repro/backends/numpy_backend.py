@@ -1,0 +1,64 @@
+"""The numpy reference backend: replay captured graphs node by node.
+
+Each node's kernel *is* the eager implementation (a closure recorded at
+capture time), so replaying the node list in order reproduces the eager
+path bit for bit.  This backend is always available and serves as the
+correctness oracle for every other lowering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.backends.errors import BackendError
+from repro.backends.graph import Graph, resolve, signature_of
+from repro.backends.registry import Backend, register_backend
+
+
+class CompiledGraph:
+    """Execute a graph's nodes in recorded order."""
+
+    def __init__(self, graph: Graph, backend_name: str = "numpy") -> None:
+        self.graph = graph
+        self.backend_name = backend_name
+
+    def __call__(self, inputs: Sequence[np.ndarray]) -> np.ndarray:
+        graph = self.graph
+        if signature_of(inputs) != graph.signature:
+            raise BackendError(
+                f"{self.backend_name} backend executed with inputs "
+                f"{signature_of(inputs)!r} but the graph was captured for "
+                f"{graph.signature!r}"
+            )
+        values: Dict[int, np.ndarray] = {}
+        for node in graph.nodes:
+            args = [resolve(ref, inputs, values) for ref in node.inputs]
+            kwargs = {key: resolve(ref, inputs, values) for key, ref in node.kwargs.items()}
+            output = node.kernel(*args, **kwargs)
+            if not isinstance(output, np.ndarray):
+                raise BackendError(
+                    f"kernel returned {type(output).__name__}, expected ndarray",
+                    op=node.op,
+                )
+            if tuple(output.shape) != node.out_shape or output.dtype != node.out_dtype:
+                raise BackendError(
+                    f"kernel produced {tuple(output.shape)}/{output.dtype} but the "
+                    f"graph recorded {node.out_shape}/{node.out_dtype}",
+                    op=node.op,
+                )
+            values[node.id] = output
+        return resolve(graph.output, inputs, values)
+
+
+class NumpyBackend(Backend):
+    """Reference executor — bit-identical to eager by construction."""
+
+    name = "numpy"
+
+    def compile(self, graph: Graph) -> CompiledGraph:
+        return CompiledGraph(graph, backend_name=self.name)
+
+
+register_backend("numpy", NumpyBackend)

@@ -262,6 +262,15 @@ class CampaignEngine:
         (tests tune backoff/poll intervals through this).  When given, it is
         used verbatim and ``max_chunk_retries``/``chunk_timeout`` are
         ignored.
+    backend:
+        Compute backend every job is tagged with — the batched substrate
+        (triage sweeps, stacked evaluators and trainers) replays its
+        captured op graphs through it.  ``None`` keeps the eager path;
+        ``"numpy"`` is the always-available reference replay (bit-identical
+        to eager, so it shares fingerprints with it); ``"fused"`` merges hot
+        chains and JIT-compiles them when numba is available, falling back
+        to ``"numpy"`` (with a logged warning) otherwise.  The job carries
+        the tag, so worker processes honour it without extra configuration.
     """
 
     DEFAULT_FAT_BATCH = 8
@@ -283,6 +292,7 @@ class CampaignEngine:
         chunk_timeout: Optional[float] = None,
         chaos: Optional[Union[str, ChaosSpec]] = None,
         supervisor_config: Optional[SupervisorConfig] = None,
+        backend: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -304,6 +314,7 @@ class CampaignEngine:
         self.fat_batch = int(fat_batch) if fat_batch is not None else self.DEFAULT_FAT_BATCH
         self.heartbeat_seconds = heartbeat_seconds
         self.chaos_spec = resolve_chaos(chaos)
+        self.backend = backend
         if supervisor_config is not None:
             self.supervisor_config = supervisor_config
         else:
@@ -344,6 +355,7 @@ class CampaignEngine:
             policy=policy.name,
             strategy=strategy.name,
             jobs=self.jobs,
+            backend=self.backend or "eager",
         ) as run_span:
             result = self._run(population, policy, strategy, triage, run_span)
         self._write_observability_artifacts()
@@ -360,7 +372,9 @@ class CampaignEngine:
         metrics.gauge("campaign.phase").set("plan")
         with trace.span("campaign.plan", stage="build_jobs"):
             framework = self.context.framework()
-            job_list = build_jobs(framework, population, policy, strategy=strategy)
+            job_list = build_jobs(
+                framework, population, policy, strategy=strategy, backend=self.backend
+            )
             target_accuracy = framework.target_accuracy
             clean_accuracy = framework.clean_accuracy
             run_span.set(chips=len(job_list))
@@ -382,6 +396,7 @@ class CampaignEngine:
                         "target_accuracy": target_accuracy,
                         "clean_accuracy": clean_accuracy,
                         "array_shape": list(population.array_shape),
+                        "backend": self.backend or "eager",
                     },
                 )
 
@@ -427,7 +442,9 @@ class CampaignEngine:
                 missing = [job.to_chip() for job in pending if job.chip_id not in triage]
                 if missing:
                     triage.update(
-                        framework.triage_population(missing, strategy=strategy)
+                        framework.triage_population(
+                            missing, strategy=strategy, backend=self.backend
+                        )
                     )
                 pending = [
                     job.with_accuracy_before(triage[job.chip_id])
@@ -800,6 +817,7 @@ def run_campaign(
     progress: bool = False,
     fat_batch: Optional[int] = None,
     strategy: StrategyLike = None,
+    backend: Optional[str] = None,
 ) -> CampaignResult:
     """One-call convenience wrapper around :class:`CampaignEngine`."""
     engine = CampaignEngine(
@@ -809,5 +827,6 @@ def run_campaign(
         resume=resume,
         progress=progress,
         fat_batch=fat_batch,
+        backend=backend,
     )
     return engine.run(population, policy, strategy=strategy)

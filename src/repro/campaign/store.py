@@ -81,20 +81,28 @@ def campaign_fingerprint(
     Two campaigns share a fingerprint exactly when re-running one can safely
     reuse the other's per-chip results: the experiment inputs, the resolved
     accuracy target and every chip's fault map, retraining amount and
-    mitigation strategy agree.
+    mitigation strategy agree.  A job's compute backend joins the payload
+    only when it can change recorded values: the eager path (``None``) and
+    the bit-identical ``"numpy"`` reference replay fingerprint alike, so
+    pre-backend stores remain resumable under either.
     """
     payload = {
         "version": STORE_FORMAT_VERSION,
         "preset": config_to_dict(preset),
         "policy": str(policy_name),
         "target_accuracy": float(target_accuracy),
-        "jobs": [
-            {"chip": job.chip, "epochs": job.epochs, "strategy": job.strategy}
-            for job in jobs
-        ],
+        "jobs": [_job_fingerprint_payload(job) for job in jobs],
     }
     digest = hashlib.sha256(json.dumps(payload, sort_keys=True).encode("utf-8"))
     return digest.hexdigest()
+
+
+def _job_fingerprint_payload(job: Any) -> Dict[str, Any]:
+    payload = {"chip": job.chip, "epochs": job.epochs, "strategy": job.strategy}
+    backend = getattr(job, "backend", None)
+    if backend not in (None, "numpy"):
+        payload["backend"] = str(backend)
+    return payload
 
 
 def _line_checksum(canonical_payload: str) -> str:

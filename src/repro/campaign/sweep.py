@@ -81,6 +81,7 @@ def run_strategy_sweep(
     max_chunk_retries: Optional[int] = None,
     chunk_timeout: Optional[float] = None,
     chaos: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> StrategySweepResult:
     """Run one population through K mitigation strategies under one policy.
 
@@ -89,7 +90,8 @@ def run_strategy_sweep(
     shared engine, with triage shared among strategies whose initial
     accuracy is measured under the same masks.  The fault-tolerance knobs
     (``max_chunk_retries``, ``chunk_timeout``, ``chaos``) are forwarded to
-    the shared engine and therefore apply to every strategy arm.
+    the shared engine and therefore apply to every strategy arm, as does the
+    compute ``backend`` every arm's jobs are tagged with.
     """
     strategy_list = parse_strategy_list(strategies)
 
@@ -105,6 +107,7 @@ def run_strategy_sweep(
         max_chunk_retries=max_chunk_retries,
         chunk_timeout=chunk_timeout,
         chaos=chaos,
+        backend=backend,
     )
     campaigns: "OrderedDict[str, CampaignResult]" = OrderedDict()
     reports: Dict[str, CampaignReport] = {}

@@ -45,6 +45,12 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro.backends import (
+    BACKEND_ENV_VAR,
+    available_backends,
+    get_backend,
+    numba_available,
+)
 from repro.campaign import CHAOS_ENV_VAR, CampaignEngine, ChaosSpec, discover_stores
 from repro.core.reporting import campaign_summary_table
 from repro.experiments import (
@@ -147,6 +153,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "either way",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="NAME",
+        help="compute backend for the batched campaign substrate: 'numpy' "
+        "(reference graph replay, bit-identical to eager execution; the "
+        "default) or 'fused' (merged im2col/GEMM/bias/ReLU chains, numba-JIT "
+        "compiled when numba is installed). Also honoured via the "
+        f"{BACKEND_ENV_VAR} environment variable",
+    )
+    parser.add_argument(
         "--trace",
         type=Path,
         default=None,
@@ -239,6 +255,7 @@ def _run_campaign(context: ExperimentContext, args: argparse.Namespace) -> Dict[
     """The 'campaign' command: one policy through the parallel engine."""
     population = build_population(context, num_chips=args.chips)
     store_base = args.campaign_dir if args.campaign_dir is not None else Path("campaigns")
+    print(f"[repro-reduce] compute backend: {get_backend(args.backend).describe()}")
     engine = CampaignEngine(
         context,
         jobs=args.jobs,
@@ -250,6 +267,7 @@ def _run_campaign(context: ExperimentContext, args: argparse.Namespace) -> Dict[
         max_chunk_retries=args.max_chunk_retries,
         chunk_timeout=args.chunk_timeout,
         chaos=args.chaos,
+        backend=args.backend,
     )
     if args.policy == "fixed":
         result = engine.run_fixed(population, args.fixed_epochs, strategy=args.strategy)
@@ -271,6 +289,7 @@ def _run_campaign(context: ExperimentContext, args: argparse.Namespace) -> Dict[
               f"(see quarantine.jsonl in the store)")
     payload: Dict[str, Any] = {"figure": "campaign", **result.to_dict()}
     payload["strategy"] = parse_strategy(args.strategy).name
+    payload["backend"] = args.backend
     payload["report"] = {
         "policy": report.policy_name,
         "total_chips": report.total_chips,
@@ -288,6 +307,7 @@ def _run_campaign(context: ExperimentContext, args: argparse.Namespace) -> Dict[
 def _run_compare(context: ExperimentContext, args: argparse.Namespace) -> Dict[str, Any]:
     """The 'compare' command: one population through K mitigation strategies."""
     store_base = args.campaign_dir if args.campaign_dir is not None else Path("campaigns")
+    print(f"[repro-reduce] compute backend: {get_backend(args.backend).describe()}")
     result = run_compare(
         context,
         args.strategies,
@@ -303,6 +323,7 @@ def _run_compare(context: ExperimentContext, args: argparse.Namespace) -> Dict[s
         max_chunk_retries=args.max_chunk_retries,
         chunk_timeout=args.chunk_timeout,
         chaos=args.chaos,
+        backend=args.backend,
     )
     print(result.table())
     print()
@@ -345,6 +366,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--max-chunk-retries must be >= 0")
     if args.chunk_timeout is not None and args.chunk_timeout <= 0:
         parser.error("--chunk-timeout must be positive")
+    if args.backend is None:
+        args.backend = os.environ.get(BACKEND_ENV_VAR) or "numpy"
+    if args.backend not in available_backends():
+        parser.error(
+            f"unknown --backend {args.backend!r}; available: "
+            f"{', '.join(available_backends())}"
+        )
+    if args.backend == "fused" and not numba_available():
+        parser.error(
+            "--backend fused requires numba, which is not installed in this "
+            "environment; use --backend numpy (the always-available reference "
+            "backend, bit-identical to eager execution) or install numba to "
+            "enable the JIT-fused kernels"
+        )
     if args.chaos is None:
         args.chaos = os.environ.get(CHAOS_ENV_VAR) or None
     if args.chaos is not None:

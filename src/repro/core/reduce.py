@@ -328,6 +328,7 @@ class ReduceFramework:
         chips: Iterable[Chip],
         chip_chunk: int = 16,
         strategy: StrategyLike = None,
+        backend: Optional[str] = None,
     ) -> Dict[str, float]:
         """Pre-retraining accuracy of every chip, in batched multi-chip passes.
 
@@ -340,7 +341,9 @@ class ReduceFramework:
         share the pre-trained weights and differ only in their masks, so a
         :class:`~repro.accelerator.batched.BatchedFaultEvaluator` computes B
         of them per forward sweep.  Results are numerically identical to the
-        serial per-chip evaluation.
+        serial per-chip evaluation.  ``backend`` selects the compute backend
+        the evaluator replays its captured forward graphs through (``None``
+        keeps the eager path; ``"numpy"`` is bit-identical to it).
         """
         chip_list = list(chips)
         if not chip_list:
@@ -369,6 +372,7 @@ class ReduceFramework:
                     batch_size=eval_batch,
                     chip_chunk=chip_chunk,
                     lowering_cache=lowering_cache,
+                    backend=backend,
                 )
             )
         return {chip.chip_id: acc for chip, acc in zip(chip_list, accuracies)}
@@ -397,6 +401,7 @@ class ReduceFramework:
         target_accuracy: Optional[float] = None,
         accuracy_before: Optional[float] = None,
         strategy: StrategyLike = None,
+        backend: Optional[str] = None,
     ) -> Union[ChipRetrainingResult, tuple]:
         """Mitigate (and possibly retrain) the pre-trained model for one chip.
 
@@ -417,6 +422,13 @@ class ReduceFramework:
         retrain under saliency-permuted masks; bypass strategies return the
         clean accuracy for bypassable chips (the shrunk array has no faults)
         and fall back to FAP(+FAT, if the strategy retrains) otherwise.
+
+        ``backend`` is accepted so per-job execution mirrors the batched
+        path's signature, but the serial per-chip trainer always executes
+        eagerly — backends route the *stacked* substrate, whose ``"numpy"``
+        replay is bit-identical to eager execution, so a campaign that mixes
+        batched chunks (replayed) with singleton chunks (eager) records the
+        same values either way.
         """
         if epochs < 0:
             raise ValueError("epochs must be non-negative")
@@ -486,6 +498,7 @@ class ReduceFramework:
         accuracies_before: Optional[Dict[str, float]] = None,
         fat_batch: int = DEFAULT_FAT_BATCH,
         strategy: StrategyLike = None,
+        backend: Optional[str] = None,
     ) -> List[ChipRetrainingResult]:
         """Mitigate several chips under one strategy/budget in stacked batches.
 
@@ -509,6 +522,10 @@ class ReduceFramework:
         same machinery as plain fault masks.  Bypassable chips under a bypass
         strategy never enter training (their accuracy is preserved by the
         shrunk array); the rest of the batch trains normally.
+
+        ``backend`` selects the compute backend the stacked trainer and
+        evaluators replay their captured op graphs through (``None`` keeps
+        the eager path; ``"numpy"`` is bit-identical to it).
         """
         if epochs < 0:
             raise ValueError("epochs must be non-negative")
@@ -553,6 +570,7 @@ class ReduceFramework:
                     mask_sets,
                     batch_size=eval_batch,
                     chip_chunk=fat_batch,
+                    backend=backend,
                 )
                 for position, pos in enumerate(missing):
                     before[pos] = evaluated[position]
@@ -585,6 +603,7 @@ class ReduceFramework:
                         [mask_sets[i] for i in missing],
                         batch_size=eval_batch,
                         chip_chunk=fat_batch,
+                        backend=backend,
                     )
                     for position, index in enumerate(missing):
                         before[index] = evaluated[position]
@@ -601,6 +620,7 @@ class ReduceFramework:
                 self.bundle.train,
                 self.bundle.test,
                 config=self._fat_training_config(),
+                backend=backend,
             )
             before = [before_map.get(chip.chip_id) for chip in chunk]
             if any(value is None for value in before):
@@ -627,6 +647,7 @@ class ReduceFramework:
         batched: bool = True,
         fat_batch: int = DEFAULT_FAT_BATCH,
         strategy: StrategyLike = None,
+        backend: Optional[str] = None,
     ) -> CampaignResult:
         """Run Step 3 for every chip under an arbitrary retraining policy.
 
@@ -636,7 +657,8 @@ class ReduceFramework:
         then retrained together through the stacked batched-FAT path, which
         is bit-identical to the serial per-chip loop on this BLAS build.
         ``strategy`` selects the mitigation recipe applied before/instead of
-        retraining (default: classic FAT).
+        retraining (default: classic FAT); ``backend`` selects the compute
+        backend the batched substrate replays its captured graphs through.
         """
         strategy = resolve_strategy(strategy)
         amounts = policy.epochs_for_population(population)
@@ -646,7 +668,7 @@ class ReduceFramework:
             )
             for chip in population
         }
-        triage = self.triage_population(population, strategy=strategy)
+        triage = self.triage_population(population, strategy=strategy, backend=backend)
         by_id: Dict[str, ChipRetrainingResult] = {}
         if batched:
             groups: Dict[float, List[Chip]] = {}
@@ -660,6 +682,7 @@ class ReduceFramework:
                         accuracies_before=triage,
                         fat_batch=fat_batch,
                         strategy=strategy,
+                        backend=backend,
                     ):
                         by_id[result.chip_id] = result
         results: List[ChipRetrainingResult] = []
@@ -671,6 +694,7 @@ class ReduceFramework:
                     effective[chip.chip_id],
                     accuracy_before=triage.get(chip.chip_id),
                     strategy=strategy,
+                    backend=backend,
                 )
             results.append(result)
             if progress:

@@ -178,6 +178,7 @@ def run_compare(
     max_chunk_retries: Optional[int] = None,
     chunk_timeout: Optional[float] = None,
     chaos: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> CompareResult:
     """Run the multi-strategy comparison on the given context.
 
@@ -187,7 +188,8 @@ def run_compare(
     ``fixed_epochs``).  Every strategy's campaign is dispatched through the
     shared campaign engine, so ``jobs``, ``fat_batch``, resumable stores
     under ``campaign_dir`` and the fault-tolerance knobs
-    (``max_chunk_retries``, ``chunk_timeout``, ``chaos``) apply per strategy.
+    (``max_chunk_retries``, ``chunk_timeout``, ``chaos``) apply per strategy,
+    as does the compute ``backend`` the batched substrate replays through.
     """
     chips = population if population is not None else build_population(context, num_chips)
     if policy is None:
@@ -215,6 +217,7 @@ def run_compare(
         max_chunk_retries=max_chunk_retries,
         chunk_timeout=chunk_timeout,
         chaos=chaos,
+        backend=backend,
     )
 
     rows: List[Dict[str, object]] = []

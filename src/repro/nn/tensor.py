@@ -25,6 +25,9 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.backends import capture as backend_capture
+from repro.backends.errors import BackendError, describe_operands
+
 DEFAULT_DTYPE = np.float32
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
@@ -106,7 +109,21 @@ class Function:
             is_grad_enabled() and t.requires_grad for t in tensor_inputs
         )
         raw_args = [a.data if isinstance(a, Tensor) else a for a in args]
-        output_data = ctx.forward(*raw_args, **kwargs)
+        op_name = getattr(cls, "capture_name", cls.__name__.lower())
+        try:
+            output_data = ctx.forward(*raw_args, **kwargs)
+        except AssertionError as exc:
+            raise BackendError(
+                f"forward violated a dtype/contiguity invariant for inputs "
+                f"{describe_operands(raw_args)}: {exc}",
+                op=op_name,
+            ) from exc
+        if not isinstance(output_data, (np.ndarray, np.generic)):
+            raise BackendError(
+                f"forward returned {type(output_data).__name__} for inputs "
+                f"{describe_operands(raw_args)}, expected ndarray",
+                op=op_name,
+            )
         # Float32 dtype discipline: an op whose tensor inputs are all float32
         # must not silently promote its output to float64 (e.g. via a numpy
         # scalar operand) — a promotion would cascade through the rest of the
@@ -119,6 +136,10 @@ class Function:
             output_data = output_data.astype(DEFAULT_DTYPE)
         requires_grad = is_grad_enabled() and any(t.requires_grad for t in tensor_inputs)
         output = Tensor(output_data, requires_grad=requires_grad)
+        if backend_capture.is_capturing():
+            # Record the post-construction array: Tensor() may coerce (numpy
+            # scalars, integer dtypes), and downstream ops consume that array.
+            backend_capture.record_function(cls, args, kwargs, output.data)
         if requires_grad:
             ctx.parents = tensor_inputs
             output._ctx = ctx

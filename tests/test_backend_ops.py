@@ -1,0 +1,499 @@
+"""Backend equivalence tests: captured op graphs vs eager execution.
+
+Three layers of guarantees are pinned down here:
+
+* **Per-op** — every op in the IR vocabulary (im2col, stacked GEMM, bias,
+  ReLU, max-pool, BatchNorm, keep-multiplier mask, SGD update) captured once
+  and replayed on fresh inputs is *bit-identical* under the ``numpy``
+  reference backend and ``allclose`` + deterministic under ``fused``.
+* **Substrate** — the batched evaluator and trainer produce the same
+  accuracies/losses/weights through a backend as eagerly (bit-identical for
+  ``numpy``, allclose for ``fused``).
+* **End-to-end** — a fast-preset campaign through the ``numpy`` backend
+  writes a ``results.jsonl`` byte-identical to the eager campaign and shares
+  its content-addressed store fingerprint.
+
+``fused`` runs interpreted in environments without numba (the registry
+degrades it gracefully), so every test here is meaningful with or without
+the optional dependency.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.accelerator import FaultMap, model_fault_masks
+from repro.accelerator.batched import (
+    BatchedFaultEvaluator,
+    BatchedFaultTrainer,
+    _keep_multiplier_kernel,
+)
+from repro.backends import (
+    BACKEND_ENV_VAR,
+    BackendError,
+    available_backends,
+    capture_graph,
+    env_backend_name,
+    get_backend,
+    numba_available,
+    recorded,
+    resolve_backend,
+)
+from repro.backends.fused import FusedBackend
+from repro.data import make_class_template_images
+from repro.nn import functional as F
+from repro.nn.optim import SGD
+from repro.nn.tensor import Function
+from repro.observability import metrics
+from repro.training import TrainingConfig
+
+BACKENDS = ("numpy", "fused")
+
+
+def _assert_backend_matches(backend_name, replayed, expected):
+    """numpy must be bit-identical; fused is allclose (signed zeros differ)."""
+    assert replayed.shape == expected.shape
+    assert replayed.dtype == expected.dtype
+    if backend_name == "numpy":
+        assert replayed.tobytes() == expected.tobytes()
+    else:
+        np.testing.assert_allclose(replayed, expected, rtol=1e-6, atol=1e-6)
+
+
+def _capture(inputs, fn):
+    with capture_graph(inputs) as session:
+        out = fn(*inputs)
+    graph = session.finish(out)
+    assert graph is not None, "chain was not captured"
+    return graph
+
+
+def _roundtrip(backend_name, make_inputs, fn):
+    """Capture ``fn`` on one input set, replay on a second, compare to eager."""
+    a = make_inputs(np.random.default_rng(11))
+    b = make_inputs(np.random.default_rng(23))
+    compiled = get_backend(backend_name).compile(_capture(a, fn))
+    expected = fn(*[x.copy() for x in b])
+    replayed = compiled([x.copy() for x in b])
+    _assert_backend_matches(backend_name, replayed, expected)
+    # Fixed inputs -> fixed outputs: replaying the same graph twice must be
+    # byte-stable (this is the fused backend's determinism contract).
+    again = compiled([x.copy() for x in b])
+    assert again.tobytes() == replayed.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# Per-op equivalence over the captured IR vocabulary
+# ---------------------------------------------------------------------------
+
+
+class TestPerOpEquivalence:
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_relu(self, backend_name):
+        _roundtrip(
+            backend_name,
+            lambda rng: (rng.standard_normal((5, 7)).astype(np.float32),),
+            lambda x: F.relu(nn.Tensor(x)).data,
+        )
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_max_pool(self, backend_name):
+        _roundtrip(
+            backend_name,
+            lambda rng: (rng.standard_normal((2, 3, 8, 8)).astype(np.float32),),
+            lambda x: F.max_pool2d(nn.Tensor(x), (2, 2)).data,
+        )
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_im2col_t(self, backend_name):
+        _roundtrip(
+            backend_name,
+            lambda rng: (rng.standard_normal((2, 3, 6, 6)).astype(np.float32),),
+            lambda x: recorded(
+                "eval.im2col",
+                (x,),
+                lambda a: F.im2col_t(a, (3, 3), (1, 1), (1, 1))[0],
+            ),
+        )
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_stacked_gemm(self, backend_name):
+        _roundtrip(
+            backend_name,
+            lambda rng: (
+                rng.standard_normal((4, 5, 18)).astype(np.float32),
+                rng.standard_normal((18, 50)).astype(np.float32),
+            ),
+            lambda w, c: recorded("eval.gemm", (w, c), np.matmul),
+        )
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_stacked_bias(self, backend_name):
+        _roundtrip(
+            backend_name,
+            lambda rng: (
+                rng.standard_normal((4, 5, 50)).astype(np.float32),
+                rng.standard_normal((4, 5)).astype(np.float32),
+            ),
+            lambda g, b: recorded(
+                "eval.bias", (g, b), lambda G, B: G + B[:, :, None]
+            ),
+        )
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_linear_layer(self, backend_name):
+        layer = nn.Linear(10, 4, rng=0)
+        _roundtrip(
+            backend_name,
+            lambda rng: (rng.standard_normal((6, 10)).astype(np.float32),),
+            lambda x: layer(nn.Tensor(x)).data,
+        )
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_batchnorm_eval(self, backend_name):
+        bn = nn.BatchNorm2d(3)
+        # Warm the running statistics so the eval-mode normalisation is not
+        # the identity transform.
+        with nn.no_grad():
+            bn(nn.Tensor(np.random.default_rng(5).standard_normal((4, 3, 6, 6)).astype(np.float32)))
+        bn.eval()
+        _roundtrip(
+            backend_name,
+            lambda rng: (rng.standard_normal((4, 3, 6, 6)).astype(np.float32),),
+            lambda x: bn(nn.Tensor(x)).data,
+        )
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_keep_multiplier_mask(self, backend_name):
+        # The mask kernel is in-place: capture and replay must both mutate
+        # their operand and the mutated values must match eager exactly.
+        def fn(values, keep):
+            return recorded(
+                "mask.keep_multiplier", (values, keep), _keep_multiplier_kernel
+            )
+
+        rng = np.random.default_rng(3)
+        a = (
+            rng.standard_normal((3, 4, 4)).astype(np.float32),
+            (rng.random((3, 4, 4)) > 0.2).astype(np.float32),
+        )
+        b_values = rng.standard_normal((3, 4, 4)).astype(np.float32)
+        b_keep = (rng.random((3, 4, 4)) > 0.3).astype(np.float32)
+
+        compiled = get_backend(backend_name).compile(_capture(a, fn))
+        expected = _keep_multiplier_kernel(b_values.copy(), b_keep)
+        replay_values = b_values.copy()
+        replayed = compiled((replay_values, b_keep))
+        _assert_backend_matches(backend_name, replayed, expected)
+        # The in-place contract: the operand itself carries the result.
+        assert replay_values.tobytes() == expected.tobytes()
+
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    def test_sgd_update(self, backend_name):
+        # Replaying the captured update across optimizer steps must track the
+        # live momentum state exactly as two eager steps would.
+        rng = np.random.default_rng(7)
+        initial = rng.standard_normal((6, 4)).astype(np.float32)
+        g1 = rng.standard_normal((6, 4)).astype(np.float32)
+        g2 = rng.standard_normal((6, 4)).astype(np.float32)
+
+        def make_opt(data):
+            param = nn.Parameter(data.copy())
+            opt = SGD([param], lr=0.05, momentum=0.9, weight_decay=1e-4)
+            return param, opt
+
+        captured_param, captured_opt = make_opt(initial)
+        captured_param.grad = g1.copy()
+        graph = _capture(
+            (captured_param.data, captured_param.grad), lambda *_: _step(captured_opt)
+        )
+        compiled = get_backend(backend_name).compile(graph)
+        # Step 2 through the backend: same parameter array, fresh gradient.
+        compiled((captured_param.data, g2.copy()))
+
+        eager_param, eager_opt = make_opt(initial)
+        for grad in (g1, g2):
+            eager_param.grad = grad.copy()
+            eager_opt.step()
+
+        assert captured_param.data.tobytes() == eager_param.data.tobytes()
+
+
+def _step(opt):
+    opt.step()
+    return opt.parameters[0].data
+
+
+# ---------------------------------------------------------------------------
+# Fusion lowering
+# ---------------------------------------------------------------------------
+
+
+class TestFusedLowering:
+    def test_relu_chain_fuses_into_fewer_nodes(self):
+        bias = np.random.default_rng(1).standard_normal((4, 5)).astype(np.float32)
+
+        def chain(w, c):
+            g = recorded("eval.gemm", (w, c), np.matmul)
+            h = recorded("eval.bias", (g, bias), lambda G, B: G + B[:, :, None])
+            return F.relu(nn.Tensor(h)).data
+
+        rng = np.random.default_rng(2)
+        a = (
+            rng.standard_normal((4, 5, 18)).astype(np.float32),
+            rng.standard_normal((18, 50)).astype(np.float32),
+        )
+        graph = _capture(a, chain)
+        reference = get_backend("numpy").compile(graph)
+        fused = get_backend("fused").compile(graph)
+        assert len(fused.graph.nodes) < len(reference.graph.nodes)
+
+        b = (
+            rng.standard_normal((4, 5, 18)).astype(np.float32),
+            rng.standard_normal((18, 50)).astype(np.float32),
+        )
+        np.testing.assert_allclose(
+            fused(b), reference([x.copy() for x in b]), rtol=1e-6, atol=1e-6
+        )
+
+    def test_describe_names_execution_mode(self):
+        assert FusedBackend(use_jit=False).describe() == "fused (interpreted)"
+        expected = "fused (numba-jit)" if numba_available() else "fused (interpreted)"
+        assert get_backend("fused").describe() == expected
+
+
+# ---------------------------------------------------------------------------
+# Substrate equivalence: batched evaluator and trainer
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def backend_bundle():
+    return make_class_template_images(
+        num_classes=4,
+        train_per_class=16,
+        test_per_class=8,
+        image_size=8,
+        channels=2,
+        noise_std=0.3,
+        shift_pixels=0,
+        seed=1,
+    )
+
+
+def _make_cnn(bundle):
+    channels = bundle.input_shape[0]
+    return nn.Sequential(
+        nn.Conv2d(channels, 4, 3, padding=1, bias=False, rng=0),
+        nn.BatchNorm2d(4),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(),
+        nn.Linear(4 * 4 * 4, 8, rng=1),
+        nn.BatchNorm1d(8),
+        nn.ReLU(),
+        nn.Linear(8, bundle.num_classes, rng=2),
+    )
+
+
+def _mask_sets(model_factory, num_chips=3):
+    maps = [FaultMap.random(16, 16, 0.05 + 0.04 * i, seed=i) for i in range(num_chips)]
+    return [model_fault_masks(model_factory(), fault_map) for fault_map in maps]
+
+
+class TestEvaluatorEquivalence:
+    def test_numpy_backend_bit_identical(self, backend_bundle):
+        model = _make_cnn(backend_bundle)
+        mask_sets = _mask_sets(lambda: _make_cnn(backend_bundle))
+        batch = (
+            np.random.default_rng(9)
+            .standard_normal((8,) + backend_bundle.input_shape)
+            .astype(np.float32)
+        )
+
+        eager = BatchedFaultEvaluator(model, mask_sets)
+        replayed = BatchedFaultEvaluator(model, mask_sets, backend="numpy")
+
+        expected_logits = eager.evaluate_logits(batch)
+        replayed.evaluate_logits(batch)  # first call captures eagerly
+        hits = metrics.counter("backend.graph_cache.hits", backend="numpy")
+        hits_before = hits.value
+        replay_logits = replayed.evaluate_logits(batch)  # second call replays
+        assert hits.value == hits_before + 1
+        assert replay_logits.tobytes() == expected_logits.tobytes()
+
+        expected_acc = eager.evaluate_accuracy(backend_bundle.test, batch_size=16)
+        replay_acc = replayed.evaluate_accuracy(backend_bundle.test, batch_size=16)
+        assert replay_acc == expected_acc
+
+    def test_fused_backend_allclose_and_deterministic(self, backend_bundle):
+        model = _make_cnn(backend_bundle)
+        mask_sets = _mask_sets(lambda: _make_cnn(backend_bundle))
+        batch = (
+            np.random.default_rng(9)
+            .standard_normal((8,) + backend_bundle.input_shape)
+            .astype(np.float32)
+        )
+
+        eager = BatchedFaultEvaluator(model, mask_sets)
+        fused = BatchedFaultEvaluator(model, mask_sets, backend=get_backend("fused"))
+
+        expected = eager.evaluate_logits(batch)
+        fused.evaluate_logits(batch)  # capture
+        first = fused.evaluate_logits(batch)  # replay
+        second = fused.evaluate_logits(batch)
+        np.testing.assert_allclose(first, expected, rtol=1e-5, atol=1e-6)
+        assert first.tobytes() == second.tobytes()
+
+        assert fused.evaluate_accuracy(
+            backend_bundle.test, batch_size=16
+        ) == eager.evaluate_accuracy(backend_bundle.test, batch_size=16)
+
+
+def _nan_aware_equal(a, b):
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return bool(np.all((a == b) | (np.isnan(a) & np.isnan(b))))
+
+
+class TestTrainerEquivalence:
+    def _run(self, bundle, backend):
+        model = _make_cnn(bundle)
+        trainer = BatchedFaultTrainer(
+            model,
+            _mask_sets(lambda: _make_cnn(bundle)),
+            bundle.train,
+            bundle.test,
+            config=TrainingConfig(learning_rate=0.05, batch_size=16, seed=3),
+            backend=backend,
+        )
+        histories = trainer.train(1.0, eval_checkpoints=[0.5])
+        states = [trainer.chip_state_dict(chip) for chip in range(3)]
+        return histories, states
+
+    def test_numpy_backend_bit_identical(self, backend_bundle):
+        eager_hist, eager_states = self._run(backend_bundle, None)
+        numpy_hist, numpy_states = self._run(backend_bundle, "numpy")
+        for a, b in zip(eager_hist, numpy_hist):
+            assert a.accuracies == b.accuracies
+            assert _nan_aware_equal(
+                [r.train_loss for r in a.records], [r.train_loss for r in b.records]
+            )
+        for sa, sb in zip(eager_states, numpy_states):
+            assert sa.keys() == sb.keys()
+            for key in sa:
+                assert sa[key].tobytes() == sb[key].tobytes()
+
+    def test_fused_backend_allclose_and_deterministic(self, backend_bundle):
+        _, eager_states = self._run(backend_bundle, None)
+        fused_hist, fused_states = self._run(backend_bundle, get_backend("fused"))
+        for sa, sb in zip(eager_states, fused_states):
+            for key in sa:
+                np.testing.assert_allclose(
+                    sa[key].astype(np.float64),
+                    sb[key].astype(np.float64),
+                    rtol=1e-4,
+                    atol=1e-5,
+                )
+        fused_hist2, fused_states2 = self._run(backend_bundle, get_backend("fused"))
+        for a, b in zip(fused_hist, fused_hist2):
+            assert a.accuracies == b.accuracies
+        for sa, sb in zip(fused_states, fused_states2):
+            for key in sa:
+                assert sa[key].tobytes() == sb[key].tobytes()
+
+
+# ---------------------------------------------------------------------------
+# Registry, resolution and typed errors
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"numpy", "fused"} <= set(available_backends())
+
+    def test_unknown_backend_raises_typed_error(self):
+        with pytest.raises(BackendError, match="unknown backend"):
+            get_backend("bogus")
+
+    def test_resolve_none_is_eager(self):
+        assert resolve_backend(None) is None
+
+    def test_resolve_numpy(self):
+        assert resolve_backend("numpy").name == "numpy"
+
+    def test_fused_falls_back_to_numpy_without_numba(self):
+        if numba_available():
+            pytest.skip("numba installed: fused resolves to the JIT backend")
+        assert resolve_backend("fused").name == "numpy"
+
+    def test_env_backend_name(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert env_backend_name() is None
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert env_backend_name() == "numpy"
+
+
+class _PickyFunction(Function):
+    capture_name = "picky"
+
+    def forward(self, x):
+        assert x.ndim == 2, "expected a 2-D operand"
+        return x * 2
+
+    def backward(self, grad_output):
+        return (grad_output,)
+
+
+class TestTypedErrors:
+    def test_function_apply_raises_backend_error(self):
+        with pytest.raises(BackendError) as excinfo:
+            _PickyFunction.apply(nn.Tensor(np.ones(3, dtype=np.float32)))
+        assert excinfo.value.op == "picky"
+        assert "(3,)/float32" in str(excinfo.value)
+
+    def test_signature_mismatch_raises_backend_error(self):
+        x = np.ones((2, 3), dtype=np.float32)
+        compiled = get_backend("numpy").compile(
+            _capture((x,), lambda a: F.relu(nn.Tensor(a)).data)
+        )
+        with pytest.raises(BackendError, match="captured for"):
+            compiled((np.ones((2, 3), dtype=np.float64),))
+
+    def test_recorded_non_array_output_rejected(self):
+        x = np.ones(4, dtype=np.float32)
+        with pytest.raises(BackendError, match="expected ndarray"):
+            with capture_graph((x,)):
+                recorded("bad.op", (x,), lambda a: float(a.sum()))
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: fast-preset campaign byte-identity
+# ---------------------------------------------------------------------------
+
+
+class TestCampaignByteIdentity:
+    def test_numpy_backend_results_match_eager(self, tmp_path):
+        from repro.campaign import CampaignEngine
+        from repro.core.selection import FixedEpochPolicy
+        from repro.experiments import ExperimentContext, build_population
+        from repro.experiments.presets import fast_preset
+
+        context = ExperimentContext.from_preset(fast_preset())
+        population = build_population(context, num_chips=4)
+
+        def run(backend, base):
+            base.mkdir()
+            engine = CampaignEngine(
+                context, store_base=base, backend=backend, fat_batch=4
+            )
+            engine.run(population, FixedEpochPolicy(0.25))
+            store_dir = next(base.iterdir())
+            return store_dir.name, (store_dir / "results.jsonl").read_bytes()
+
+        eager_fp, eager_results = run(None, tmp_path / "eager")
+        numpy_fp, numpy_results = run("numpy", tmp_path / "numpy")
+        # The numpy replay is bit-identical, so it shares the eager campaign's
+        # content-addressed store fingerprint and its results byte for byte.
+        assert numpy_fp == eager_fp
+        assert numpy_results == eager_results
