@@ -366,6 +366,109 @@ def test_bench_dataloader_iteration(benchmark, fast_context):
 
 
 # ---------------------------------------------------------------------------
+# Pipelined eval path: multi-checkpoint retraining + sweep-wide reuse
+# ---------------------------------------------------------------------------
+
+
+CHECKPOINT_EVAL_CHECKPOINTS = (0.05, 0.10, 0.15, 0.20, 0.25)
+
+
+def _checkpoint_eval_run(context, mask_sets, *, pipelined, lowering_cache=None):
+    """One eval-dominated retraining run: 0.25 epochs, 5 checkpoint evals.
+
+    Mirrors the production sweep shape (``resilience.py`` / ``reduce.py``):
+    the initial accuracy is already known from triage, so the run evaluates
+    only at the epoch checkpoints (``include_initial=False``).
+
+    ``pipelined=False`` is the eager eval path — no prefetch thread, no
+    deferred/widened multi-checkpoint pass, a zero-byte cache so every
+    checkpoint re-lowers every eval batch.  ``pipelined=True`` is the
+    default path.
+    """
+    from repro.accelerator.batched import BatchedFaultTrainer, LoweringCache
+
+    if lowering_cache is None:
+        lowering_cache = LoweringCache() if pipelined else LoweringCache(max_bytes=0)
+    context.restore_pretrained()
+    trainer = BatchedFaultTrainer(
+        context.model,
+        mask_sets,
+        context.bundle.train,
+        context.bundle.test,
+        config=TrainingConfig(learning_rate=0.04, batch_size=40, seed=0),
+        lowering_cache=lowering_cache,
+        prefetch=pipelined,
+        widened_eval=pipelined,
+    )
+    histories = trainer.train(
+        0.25, eval_checkpoints=CHECKPOINT_EVAL_CHECKPOINTS, include_initial=False
+    )
+    return [history.final_accuracy for history in histories]
+
+
+def test_bench_checkpoint_eval_baseline_8chips(benchmark, fast_context):
+    """Eager multi-checkpoint eval: 8 chips x 5 per-checkpoint eval passes.
+
+    The pre-pipelining campaign eval loop — each checkpoint interrupts
+    training for its own stacked B-chip pass, re-lowering the eval batches
+    every time — and the comparator for the pipelined benchmark below.
+    """
+    context = fast_context
+    mask_sets = _fat_mask_sets(context)
+    accuracies = benchmark(
+        _checkpoint_eval_run, context, mask_sets, pipelined=False
+    )
+    context.restore_pretrained()
+    assert len(accuracies) == len(mask_sets)
+
+
+def test_bench_checkpoint_eval_pipelined_8chips(benchmark, fast_context):
+    """Pipelined multi-checkpoint eval: same 8 chips, same 5 checkpoints.
+
+    Checkpoints snapshot the stacked weights; at 10 train batches per epoch
+    the 5 checkpoints quantize to 2 unique optimizer steps, so the deferred
+    pass evaluates 2 snapshots as one widened (2*8)-chip GEMM over lowerings
+    cached once (and prefetched in the background) instead of 5 eager
+    passes; results are bit-identical to the eager baseline (see
+    tests/test_pipelined_eval.py).
+    """
+    context = fast_context
+    mask_sets = _fat_mask_sets(context)
+    accuracies = benchmark(
+        _checkpoint_eval_run, context, mask_sets, pipelined=True
+    )
+    context.restore_pretrained()
+    assert len(accuracies) == len(mask_sets)
+
+
+def test_bench_sweep_eval_reuse_2arms(benchmark, fast_context):
+    """Checkpoints x strategies scaling: 2 arms sharing one lowering cache.
+
+    Models a strategy sweep's eval load — K arms retrain the same population
+    and walk the same unshuffled eval batches — with the sweep-wide shared
+    cache: arm 2 hits every lowering arm 1 computed, so eval-lowering cost
+    stays O(batches), not O(arms x batches).
+    """
+    from repro.accelerator.batched import LoweringCache
+
+    context = fast_context
+    mask_sets = _fat_mask_sets(context)
+
+    def run():
+        cache = LoweringCache()
+        return [
+            _checkpoint_eval_run(
+                context, mask_sets, pipelined=True, lowering_cache=cache
+            )
+            for _arm in range(2)
+        ]
+
+    arms = benchmark(run)
+    context.restore_pretrained()
+    assert len(arms) == 2 and all(len(arm) == len(mask_sets) for arm in arms)
+
+
+# ---------------------------------------------------------------------------
 # Compute-backend replay: reference vs fused
 # ---------------------------------------------------------------------------
 

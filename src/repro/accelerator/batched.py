@@ -48,7 +48,10 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+import queue
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -73,48 +76,297 @@ from repro.nn.tensor import Function, is_grad_enabled
 from repro.backends import ChainCache, recorded, resolve_backend
 from repro.backends.registry import Backend
 from repro.observability import metrics, trace
+from repro.utils.logging import get_logger
+
+logger = get_logger("accelerator.batched")
 
 MaskDict = Dict[str, np.ndarray]
 
-# Shared-prefix lowering cache: maps ``(layer_name, batch_index)`` to the
-# cached ``(cols, out_h, out_w)`` lowering of that eval batch at that layer.
-# Valid whenever the input to the first batched layer is a deterministic
-# function of the batch — true for unshuffled evaluation passes, where the
-# prefix holds no stochastic or per-chip layers — so per-checkpoint
-# evaluations (and successive chip chunks over the same test set) stop
-# re-lowering identical batches.
-LoweringCache = Dict[Tuple[str, int], Tuple[np.ndarray, int, int]]
-
 # An im2col lowering is a ``C * kh * kw``-fold expansion of its batch, so an
 # unbounded cache over a large eval set could dwarf the stacked weights it
-# sits next to.  Inserts stop once the cached lowerings reach this many
-# float32 elements (128 MB); later batches simply re-lower — a throughput
-# fallback, never a correctness change.
-LOWERING_CACHE_MAX_FLOATS = 32 * 1024 * 1024
+# sits next to.  The default byte cap comfortably holds the fast preset's
+# whole lowered test set with headroom for several layer geometries; larger
+# workloads evict least-recently-used batches and simply re-lower them — a
+# throughput fallback, never a correctness change.
+DEFAULT_LOWERING_CACHE_MB = 128.0
+
+#: Cache keys: ``(kind, layer_name, batch_size, batch_index)``.  ``kind``
+#: namespaces the two lowering layouts that coexist in this module —
+#: ``"im2col"`` yields ``(P, K)`` columns (the forward-only evaluator) and
+#: ``"im2col_t"`` yields ``(K, P)`` (the trainer's eval pass) — and
+#: ``batch_size`` disambiguates loaders slicing the same data differently
+#: (batch ``i`` covers different rows at different batch sizes).
+LoweringKey = Tuple[str, str, int, int]
+LoweringEntry = Tuple[np.ndarray, int, int]
 
 
-def _lowering_cache_put(
-    cache: LoweringCache,
-    key: Tuple[str, int],
-    value: Tuple[np.ndarray, int, int],
-) -> None:
-    """Insert into a lowering cache unless its float budget is exhausted."""
-    cached_floats = sum(entry[0].size for entry in cache.values())
-    if cached_floats + value[0].size <= LOWERING_CACHE_MAX_FLOATS:
-        cache[key] = value
+class LoweringCache:
+    """Byte-capped, thread-safe LRU cache of shared-prefix eval lowerings.
 
+    Maps :data:`LoweringKey` to the cached ``(cols, out_h, out_w)`` lowering
+    of one eval batch at one layer.  Valid whenever the input to the first
+    batched layer is a deterministic function of the batch — true for
+    unshuffled evaluation passes over fixed weights, where the prefix holds
+    no stochastic or per-chip layers — so per-checkpoint evaluations,
+    successive chip chunks, and whole strategy-sweep arms over the same
+    population stop re-lowering identical batches.
 
-def _cached_lowering(cache, key, compute):
-    """Get-or-compute one shared-prefix lowering through the budget cap."""
-    entry = cache.get(key)
-    if entry is None:
+    One instance may be shared across evaluators, trainers, campaign runs
+    and sweep arms (see :class:`EvalPipeline`), and between the evaluation
+    hot loop and its background prefetch thread: ``get_or_compute`` runs at
+    most one computation per key at a time (concurrent callers wait on the
+    in-flight one), and eviction is least-recently-used once ``max_bytes``
+    is exceeded.  An entry larger than the whole cap is returned uncached.
+    """
+
+    def __init__(self, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is None:
+            max_bytes = int(DEFAULT_LOWERING_CACHE_MB * 1024 * 1024)
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[LoweringKey, LoweringEntry]" = OrderedDict()
+        self._nbytes = 0
+        self._lock = threading.Lock()
+        self._inflight: Dict[LoweringKey, threading.Event] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of cached lowering arrays."""
+        return self._nbytes
+
+    def set_max_bytes(self, max_bytes: int) -> None:
+        """Change the byte cap, evicting LRU entries down to the new cap."""
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, got {max_bytes}")
+        with self._lock:
+            self.max_bytes = int(max_bytes)
+            self._evict_locked(0)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._nbytes = 0
+            self._update_gauge_locked()
+
+    def _update_gauge_locked(self) -> None:
         if metrics.enabled:
-            metrics.counter("lowering_cache.misses").inc()
-        entry = compute()
-        _lowering_cache_put(cache, key, entry)
-    elif metrics.enabled:
-        metrics.counter("lowering_cache.hits").inc()
-    return entry
+            metrics.gauge("lowering_cache.bytes").set(self._nbytes)
+
+    def _evict_locked(self, incoming: int) -> None:
+        while self._entries and self._nbytes + incoming > self.max_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._nbytes -= evicted[0].nbytes
+            if metrics.enabled:
+                metrics.counter("lowering_cache.evictions").inc()
+
+    def _put_locked(self, key: LoweringKey, value: LoweringEntry) -> None:
+        incoming = value[0].nbytes
+        if incoming > self.max_bytes:
+            return  # larger than the whole cap: serve uncached
+        self._evict_locked(incoming)
+        self._entries[key] = value
+        self._nbytes += incoming
+        self._update_gauge_locked()
+
+    def get_or_compute(
+        self,
+        key: LoweringKey,
+        compute: Callable[[], LoweringEntry],
+        record: bool = True,
+    ) -> LoweringEntry:
+        """Return the cached entry for ``key``, computing (once) on a miss.
+
+        When another thread — the batch prefetcher — is already computing
+        this key, the call waits for that computation instead of duplicating
+        it.  ``record=False`` (the prefetch thread) leaves the hit/miss
+        counters to the consuming thread and counts its own computations
+        under ``lowering_cache.prefetched`` instead.
+        """
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    if record and metrics.enabled:
+                        metrics.counter("lowering_cache.hits").inc()
+                    return entry
+                event = self._inflight.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._inflight[key] = event
+                    break
+            # Another thread owns the computation: wait and re-check.  The
+            # owner may legitimately fail to cache (oversized entry, eviction
+            # pressure), in which case the loop claims ownership next round.
+            event.wait()
+        try:
+            entry = compute()
+            with self._lock:
+                self._put_locked(key, entry)
+                if metrics.enabled:
+                    name = "lowering_cache.misses" if record else "lowering_cache.prefetched"
+                    metrics.counter(name).inc()
+            return entry
+        finally:
+            with self._lock:
+                del self._inflight[key]
+            event.set()
+
+
+class _LoweringPrefetcher:
+    """Background double-buffering of the next eval batch's lowering.
+
+    While the hot loop runs the current batch's stacked GEMMs, a single
+    worker thread computes the *next* batch's shared-prefix im2col lowering
+    into the shared :class:`LoweringCache`, so the loop never blocks on
+    lowering.  The lowering recipe (which layer, which im2col variant) is
+    learned on the first batch: the eval forward registers it via
+    :meth:`offer_recipe` exactly when the raw input batch is what reaches
+    the first stacked layer — the only case in which the lowering is a pure
+    function of the batch that a prefix-less thread can reproduce.  When no
+    recipe registers (MLP models, non-trivial prefixes), submissions are
+    dropped and the pass runs exactly as before — prefetch is bit-identical
+    by construction because the cache stores the same deterministic arrays
+    the hot loop would compute itself.
+    """
+
+    def __init__(self, cache: LoweringCache) -> None:
+        self._cache = cache
+        self._recipe: Optional[Tuple[str, str, int, Callable[[np.ndarray], LoweringEntry]]] = None
+        self._queue: "queue.Queue[Optional[Tuple[int, np.ndarray]]]" = queue.Queue()
+        self._thread: Optional[threading.Thread] = None
+
+    def offer_recipe(
+        self,
+        kind: str,
+        layer_name: str,
+        batch_size: int,
+        lower: Callable[[np.ndarray], LoweringEntry],
+    ) -> None:
+        """Register the first-stacked-layer lowering recipe (first call wins)."""
+        if self._recipe is None:
+            self._recipe = (kind, layer_name, batch_size, lower)
+
+    def submit(self, batch_index: int, data: np.ndarray) -> None:
+        """Queue one upcoming batch for background lowering (main thread)."""
+        if self._recipe is None:
+            # No recipe yet (first batch still in flight, or the model's
+            # first stacked layer never sees the raw batch): nothing a
+            # background thread could compute faithfully.
+            return
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._worker, name="lowering-prefetch", daemon=True
+            )
+            self._thread.start()
+        self._queue.put((batch_index, data))
+
+    def close(self) -> None:
+        """Drain and join the worker (no-op when it never started)."""
+        if self._thread is not None:
+            self._queue.put(None)
+            self._thread.join()
+            self._thread = None
+
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            batch_index, data = item
+            kind, layer_name, batch_size, lower = self._recipe
+            try:
+                self._cache.get_or_compute(
+                    (kind, layer_name, batch_size, batch_index),
+                    lambda: lower(data),
+                    record=False,
+                )
+            except Exception:  # pragma: no cover - deterministic math
+                # Never take down the eval pass from the helper thread; the
+                # hot loop recomputes the lowering itself on the cache miss.
+                logger.exception("lowering prefetch failed for batch %d", batch_index)
+
+
+def _prefetched_batches(loader, prefetcher: Optional[_LoweringPrefetcher]):
+    """Iterate ``loader`` with one-batch lookahead feeding the prefetcher.
+
+    Yields ``(batch_index, batch)`` exactly like ``enumerate(loader)``; when
+    a prefetcher is given, batch ``i + 1`` is pulled (materialized) and
+    submitted for background lowering *before* batch ``i`` is yielded, so
+    its lowering overlaps batch ``i``'s GEMMs.
+    """
+    iterator = iter(loader)
+    try:
+        pending = next(iterator)
+    except StopIteration:
+        return
+    index = 0
+    while True:
+        try:
+            upcoming = next(iterator)
+        except StopIteration:
+            upcoming = None
+        if upcoming is not None and prefetcher is not None:
+            prefetcher.submit(index + 1, upcoming[0].data)
+        yield index, pending
+        if upcoming is None:
+            return
+        pending = upcoming
+        index += 1
+
+
+@dataclasses.dataclass
+class EvalPipeline:
+    """Shared configuration + state of the pipelined evaluation path.
+
+    One instance is attached to an experiment context and rides into every
+    framework, evaluator and trainer built from it, so the lowering cache is
+    shared across population triage, campaign chunks and whole strategy-sweep
+    arms (K arms over the same population lower each eval batch once, not K
+    times).  ``prefetch`` gates the background lowering thread
+    (``--no-prefetch``), ``widened_eval`` gates multi-checkpoint GEMM
+    widening, and ``lowering_cache_mb`` caps the shared cache
+    (``--lowering-cache-mb``).  Every knob is a pure throughput lever:
+    results are bit-identical in all configurations.
+    """
+
+    prefetch: bool = True
+    widened_eval: bool = True
+    lowering_cache_mb: float = DEFAULT_LOWERING_CACHE_MB
+
+    def __post_init__(self) -> None:
+        if self.lowering_cache_mb < 0:
+            raise ValueError(
+                f"lowering_cache_mb must be non-negative, got {self.lowering_cache_mb}"
+            )
+        self.cache = LoweringCache(max_bytes=self._max_bytes())
+
+    def _max_bytes(self) -> int:
+        return int(self.lowering_cache_mb * 1024 * 1024)
+
+    def configure(
+        self,
+        prefetch: Optional[bool] = None,
+        widened_eval: Optional[bool] = None,
+        lowering_cache_mb: Optional[float] = None,
+    ) -> "EvalPipeline":
+        """Apply CLI/engine overrides in place (shrinking the cap evicts)."""
+        if prefetch is not None:
+            self.prefetch = bool(prefetch)
+        if widened_eval is not None:
+            self.widened_eval = bool(widened_eval)
+        if lowering_cache_mb is not None:
+            if lowering_cache_mb < 0:
+                raise ValueError(
+                    f"lowering_cache_mb must be non-negative, got {lowering_cache_mb}"
+                )
+            self.lowering_cache_mb = float(lowering_cache_mb)
+            self.cache.set_max_bytes(self._max_bytes())
+        return self
 
 
 def _conv_output_hw(shape: Tuple[int, ...], module: nn.Module) -> Tuple[int, int]:
@@ -189,13 +441,20 @@ class BatchedFaultEvaluator:
         One mask dict per chip (as produced by ``build_fap_masks``), all with
         identical layer keys.  ``True`` marks a weight forced to zero.
     lowering_cache:
-        Optional shared :data:`LoweringCache`.  When given,
+        Optional shared :class:`LoweringCache`.  When given,
         :meth:`evaluate_accuracy` caches (and reuses) the shared-prefix
         im2col lowering of each eval batch keyed by batch index, so several
         evaluators walking the same unshuffled data — e.g. successive chip
-        chunks of a population triage — lower each batch exactly once.  Only
-        valid across evaluators that share the model weights and iterate the
-        same batches in the same order.
+        chunks of a population triage, or later arms of a strategy sweep —
+        lower each batch exactly once.  Only valid across evaluators that
+        share the model weights and iterate the same data in order (batch
+        size rides in the cache key).
+    prefetch:
+        Pipeline the eval pass: while one batch's stacked GEMMs run, a
+        background thread lowers the *next* batch into ``lowering_cache``
+        (no-op without a cache, or when the model's first stacked layer
+        does not consume the raw input batch).  Results are bit-identical
+        with prefetch on or off.
     """
 
     def __init__(
@@ -204,12 +463,17 @@ class BatchedFaultEvaluator:
         mask_sets: Sequence[MaskDict],
         lowering_cache: Optional[LoweringCache] = None,
         backend: Optional[Union[str, Backend]] = None,
+        prefetch: bool = True,
     ) -> None:
         if not mask_sets:
             raise ValueError("mask_sets must contain at least one chip")
         self.model = model
         self.num_chips = len(mask_sets)
         self._lowering_cache = lowering_cache
+        self._prefetch = bool(prefetch)
+        self._prefetcher: Optional[_LoweringPrefetcher] = None
+        self._prefetch_probe: Optional[np.ndarray] = None
+        self._eval_batch_size: Optional[int] = None
         # Captured-graph execution: None keeps the historical purely-eager
         # path.  The chain cache must not outlive this evaluator — captured
         # graphs freeze the model's buffer *objects* (weights are read live),
@@ -353,8 +617,21 @@ class BatchedFaultEvaluator:
             # replayed graph consults the lowering cache for the batch that
             # is actually in flight.
             if shared and self._lowering_cache is not None and self._batch_index is not None:
-                cols, _, _ = _cached_lowering(
-                    self._lowering_cache, (layer.name, self._batch_index), lower
+                prefetcher = self._prefetcher
+                if prefetcher is not None and data is self._prefetch_probe:
+                    # The raw input batch reaches this layer unchanged, so
+                    # upcoming batches can be lowered off-thread faithfully.
+                    prefetcher.offer_recipe(
+                        "im2col",
+                        layer.name,
+                        self._eval_batch_size,
+                        lambda d: im2col(
+                            d, module.kernel_size, module.stride, module.padding
+                        ),
+                    )
+                cols, _, _ = self._lowering_cache.get_or_compute(
+                    ("im2col", layer.name, self._eval_batch_size, self._batch_index),
+                    lower,
                 )
             else:
                 cols, _, _ = lower()
@@ -480,17 +757,33 @@ class BatchedFaultEvaluator:
         total = 0
         was_training = self.model.training
         self.model.eval()
+        prefetcher = (
+            _LoweringPrefetcher(self._lowering_cache)
+            if self._prefetch and self._lowering_cache is not None
+            else None
+        )
+        self._prefetcher = prefetcher
+        self._eval_batch_size = batch_size
         try:
             with nn.no_grad(), self._patched():
-                for batch_index, (inputs, targets) in enumerate(loader):
+                for batch_index, (inputs, targets) in _prefetched_batches(
+                    loader, prefetcher
+                ):
                     self._batch_index = batch_index
-                    n = inputs.data.shape[0]
-                    logits = self._run_forward(inputs.data)
+                    data_array = inputs.data
+                    self._prefetch_probe = data_array
+                    n = data_array.shape[0]
+                    logits = self._run_forward(data_array)
                     predictions = logits.argmax(axis=-1)
                     correct += (predictions == np.asarray(targets)[None, :]).sum(axis=1)
                     total += n
         finally:
             self._batch_index = None
+            self._prefetch_probe = None
+            self._prefetcher = None
+            self._eval_batch_size = None
+            if prefetcher is not None:
+                prefetcher.close()
             if was_training:
                 self.model.train()
         if total == 0:
@@ -506,25 +799,28 @@ def evaluate_chip_accuracies(
     chip_chunk: int = DEFAULT_CHIP_CHUNK,
     lowering_cache: Optional[LoweringCache] = None,
     backend: Optional[Union[str, Backend]] = None,
+    prefetch: bool = True,
 ) -> List[float]:
     """Accuracy of ``model`` under each chip's masks, batched in chip chunks.
 
     The convenience wrapper over :class:`BatchedFaultEvaluator` used by the
     population triage and campaign checkpoints: peak memory is bounded by
-    ``chip_chunk`` stacked weight copies plus the (capped, see
-    :data:`LOWERING_CACHE_MAX_FLOATS`) lowering cache, regardless of
-    population size.
+    ``chip_chunk`` stacked weight copies plus the byte-capped
+    :class:`LoweringCache`, regardless of population size.
 
     Every chunk walks the same unshuffled eval batches, so the shared-prefix
     im2col lowering is cached across chunks (``lowering_cache``, created per
     call when not supplied): each test batch is lowered once for the whole
     population instead of once per chunk.  Callers evaluating the *same
     model and data* repeatedly (e.g. triage over a population larger than
-    one mask-chunk) may pass their own cache to extend the reuse.
+    one mask-chunk, or successive sweep arms) may pass their own cache to
+    extend the reuse.  ``prefetch`` pipelines each pass: the next batch's
+    lowering is computed on a background thread while the current batch's
+    stacked GEMMs run (bit-identical results either way).
     """
     if chip_chunk < 1:
         raise ValueError(f"chip_chunk must be >= 1, got {chip_chunk}")
-    cache: LoweringCache = lowering_cache if lowering_cache is not None else {}
+    cache = lowering_cache if lowering_cache is not None else LoweringCache()
     accuracies: List[float] = []
     for start in range(0, len(mask_sets), chip_chunk):
         evaluator = BatchedFaultEvaluator(
@@ -532,6 +828,7 @@ def evaluate_chip_accuracies(
             mask_sets[start:start + chip_chunk],
             lowering_cache=cache,
             backend=backend,
+            prefetch=prefetch,
         )
         accuracies.extend(evaluator.evaluate_accuracy(data, batch_size=batch_size))
     return accuracies
@@ -558,6 +855,18 @@ def evaluate_chip_accuracies(
 #   strictly per-sample and run unmodified on folded tensors;
 # * the loss is a per-chip mean, so one backward from the summed per-chip
 #   losses delivers exactly the gradient each serial run computes.
+
+
+def _fat_timer(name: str):
+    """Timer attributed to the FAT phase the caller is running in.
+
+    The stacked Functions serve both the training step (grad enabled) and the
+    trainer's checkpoint-eval forward (under ``nn.no_grad()``); splitting the
+    timers by grad mode keeps eval-side GEMM/lowering cost out of the training
+    attribution (``fat.train.*`` vs ``fat.eval.*``).
+    """
+    phase = "train" if is_grad_enabled() else "eval"
+    return metrics.timer(f"fat.{phase}.{name}")
 
 
 class _StackedLinearFunction(Function):
@@ -740,23 +1049,23 @@ class _StackedConv2dFunction(Function):
                 # no_grad), so the cached array is never aliased or mutated.
                 cols_op, out_h, out_w = lowering
             else:
-                with metrics.timer("fat.im2col_seconds"):
+                with _fat_timer("im2col_seconds"):
                     cols_op, out_h, out_w = im2col_t(x, (kh, kw), stride, padding)  # (K, P)
             # Wide GEMM: all chips' weight rows in one (B * O, K) @ (K, P)
             # call.  Per-chip row blocks are bit-identical to the serial
             # (O, K) @ (K, P) GEMM on this BLAS build (pinned by tests), and
             # one M-wide call is far faster than B narrow ones.
-            with metrics.timer("fat.gemm_seconds"):
+            with _fat_timer("gemm_seconds"):
                 out_t = (w2.reshape(chips * out_channels, -1) @ cols_op).reshape(
                     chips, out_channels, -1
                 )
         else:
             per_chip = x.shape[0] // num_chips
-            with metrics.timer("fat.im2col_seconds"):
+            with _fat_timer("im2col_seconds"):
                 cols_op, out_h, out_w = _stacked_im2col_t(
                     x, num_chips, (kh, kw), stride, padding
                 )
-            with metrics.timer("fat.gemm_seconds"):
+            with _fat_timer("gemm_seconds"):
                 out_t = np.matmul(w2, cols_op)  # (B, O, P)
         if bias is not None:
             out_t += bias[:, :, None]
@@ -783,7 +1092,8 @@ class _StackedConv2dFunction(Function):
             grad_output.reshape(num_chips, per_chip, out_channels, out_h, out_w)
             .transpose(0, 2, 1, 3, 4)
         ).reshape(num_chips, out_channels, -1)
-        with metrics.timer("fat.gemm_seconds"):
+        # Backward only ever runs during training steps.
+        with metrics.timer("fat.train.gemm_seconds"):
             if shared:
                 # Wide GEMM against the shared columns: one (B * O, P) @ (P, K)
                 # call whose per-chip row blocks equal the serial NT GEMM.
@@ -1051,6 +1361,37 @@ class _StackedLayer:
             )
 
 
+# Upper bound on the summed stacked-parameter floats a widened multi-
+# checkpoint eval may concatenate (64 M float32 = 256 MB of weight stacks;
+# folded activations scale with the same C * B factor, so this doubles as a
+# proxy cap on them).  Over the cap, deferred checkpoints evaluate one at a
+# time — a memory fallback, never a correctness change.
+WIDENED_EVAL_MAX_FLOATS = 64 * 1024 * 1024
+
+
+@dataclasses.dataclass
+class _EvalSnapshot:
+    """Stacked weights + metadata of one deferred checkpoint evaluation."""
+
+    epochs: float
+    steps: int
+    train_losses: np.ndarray  # (B,) float64, NaN where no steps ran
+    layer_weights: List[np.ndarray]
+    layer_biases: List[Optional[np.ndarray]]
+    norm_weights: List[np.ndarray]
+    norm_biases: List[np.ndarray]
+    norm_means: List[np.ndarray]
+    norm_vars: List[np.ndarray]
+
+    @property
+    def num_floats(self) -> int:
+        arrays: List[Optional[np.ndarray]] = [
+            *self.layer_weights, *self.layer_biases, *self.norm_weights,
+            *self.norm_biases, *self.norm_means, *self.norm_vars,
+        ]
+        return sum(a.size for a in arrays if a is not None)
+
+
 class BatchedFaultTrainer:
     """Fault-aware retraining of B chips in one batched training loop.
 
@@ -1087,6 +1428,9 @@ class BatchedFaultTrainer:
         eval_data: Union[Dataset, DataLoader],
         config=None,
         backend: Optional[Union[str, Backend]] = None,
+        lowering_cache: Optional[LoweringCache] = None,
+        prefetch: bool = True,
+        widened_eval: bool = True,
     ) -> None:
         from repro.training import (
             TrainingConfig,
@@ -1122,10 +1466,20 @@ class BatchedFaultTrainer:
         self._shared_prefix = True
         # Shared-prefix lowerings of the (unshuffled, deterministic) eval
         # batches, reused across every per-checkpoint evaluation of this
-        # trainer.  Keyed by (layer name, batch index); only populated while
+        # trainer — and, when the caller passes a shared cache, across
+        # trainers, chip chunks and sweep arms.  Only consulted while
         # ``_eval_batch_index`` is set inside :meth:`evaluate`.
-        self._eval_lowering: LoweringCache = {}
+        self._eval_lowering = lowering_cache if lowering_cache is not None else LoweringCache()
         self._eval_batch_index: Optional[int] = None
+        self._eval_batch_size: Optional[int] = None
+        # Background double-buffering of eval-batch lowerings (bit-identical
+        # either way; see _LoweringPrefetcher).
+        self._prefetch = prefetch
+        self._prefetcher: Optional[_LoweringPrefetcher] = None
+        self._prefetch_probe: Optional[np.ndarray] = None
+        # Multi-checkpoint GEMM widening: defer per-checkpoint evaluations
+        # and run them as one (C * B)-chip stacked pass (see :meth:`train`).
+        self._widened_eval = widened_eval
         # Captured-graph execution of the checkpoint-eval hot path (training
         # steps always run eagerly: they drive autograd).  Captured eval
         # graphs read the stacked weights, biases and running statistics
@@ -1255,11 +1609,21 @@ class BatchedFaultTrainer:
         module = layer.module
 
         def lower_cols(data: np.ndarray) -> np.ndarray:
+            prefetcher = self._prefetcher
+            if prefetcher is not None and data is self._prefetch_probe:
+                # The raw input batch reaches the first stacked layer, so the
+                # lowering is a pure function of the batch: teach the
+                # prefetcher to compute upcoming batches in the background.
+                prefetcher.offer_recipe(
+                    "im2col_t",
+                    layer.name,
+                    self._eval_batch_size,
+                    lambda d: im2col_t(d, module.kernel_size, module.stride, module.padding),
+                )
             # ``_eval_batch_index`` is read at call time so a replayed graph
             # consults the lowering cache for the batch actually in flight.
-            cols, _, _ = _cached_lowering(
-                self._eval_lowering,
-                (layer.name, self._eval_batch_index),
+            cols, _, _ = self._eval_lowering.get_or_compute(
+                ("im2col_t", layer.name, self._eval_batch_size, self._eval_batch_index),
                 lambda: im2col_t(data, module.kernel_size, module.stride, module.padding),
             )
             return cols
@@ -1480,37 +1844,232 @@ class BatchedFaultTrainer:
 
     def evaluate(self) -> List[float]:
         """Per-chip top-1 accuracy on the eval data (mirrors ``Trainer.evaluate``)."""
+        return self._evaluate_batched(chain_cache=self._eval_chain_cache)
+
+    def _evaluate_batched(self, chain_cache: Optional[ChainCache]) -> List[float]:
+        """One batched eval pass over the (current) stacked weights.
+
+        ``chain_cache`` is the captured-graph cache matching the *current*
+        ``self.num_chips`` — the widened multi-checkpoint pass supplies its
+        own (captured graphs bake the chip count into their kernels).
+        """
         from repro.training import _as_eval_loader as _training_eval_loader
 
-        loader = _training_eval_loader(self.eval_data, batch_size=self.config.batch_size * 4)
+        batch_size = self.config.batch_size * 4
+        loader = _training_eval_loader(self.eval_data, batch_size=batch_size)
         was_training = self.model.training
         self.model.eval()
         correct = np.zeros(self.num_chips, dtype=np.int64)
         total = 0
+        prefetcher = (
+            _LoweringPrefetcher(self._eval_lowering) if self._prefetch else None
+        )
         try:
             with trace.span(
                 "fat.eval_checkpoint", chips=self.num_chips
             ), nn.no_grad(), self._patched():
-                for batch_index, (inputs, targets) in enumerate(loader):
+                self._eval_batch_size = batch_size
+                self._prefetcher = prefetcher
+                for batch_index, (inputs, targets) in _prefetched_batches(
+                    loader, prefetcher
+                ):
                     self._eval_batch_index = batch_index
                     data = inputs.data
+                    self._prefetch_probe = data
                     n = data.shape[0]
-                    if self._eval_chain_cache is None:
+                    if chain_cache is None:
                         logits = self._eval_forward_all_chips(data)
                     else:
-                        logits = self._eval_chain_cache.run(
-                            (data,), self._eval_forward_all_chips
-                        )
+                        logits = chain_cache.run((data,), self._eval_forward_all_chips)
                     predictions = logits.argmax(axis=-1)
                     correct += (predictions == np.asarray(targets)[None, :]).sum(axis=1)
                     total += n
         finally:
             self._eval_batch_index = None
+            self._eval_batch_size = None
+            self._prefetcher = None
+            self._prefetch_probe = None
+            if prefetcher is not None:
+                prefetcher.close()
             if was_training:
                 self.model.train()
         if total == 0:
             return [0.0] * self.num_chips
         return [int(c) / total for c in correct]
+
+    # -- widened multi-checkpoint evaluation ---------------------------------
+
+    def _snapshot_stacks(
+        self, epochs: float, steps: int, train_losses: np.ndarray
+    ) -> _EvalSnapshot:
+        """Copy the current stacked weights/statistics for a deferred eval."""
+        return _EvalSnapshot(
+            epochs=epochs,
+            steps=steps,
+            train_losses=np.asarray(train_losses, dtype=np.float64).copy(),
+            layer_weights=[layer.weight.data.copy() for layer in self._layers],
+            layer_biases=[
+                None if layer.bias is None else layer.bias.data.copy()
+                for layer in self._layers
+            ],
+            norm_weights=[norm.weight.data.copy() for norm in self._norm_layers],
+            norm_biases=[norm.bias.data.copy() for norm in self._norm_layers],
+            norm_means=[norm.running_mean.copy() for norm in self._norm_layers],
+            norm_vars=[norm.running_var.copy() for norm in self._norm_layers],
+        )
+
+    @contextlib.contextmanager
+    def _stacks_swapped(
+        self,
+        num_chips: int,
+        layer_weights: List[np.ndarray],
+        layer_biases: List[Optional[np.ndarray]],
+        norm_weights: List[np.ndarray],
+        norm_biases: List[np.ndarray],
+        norm_means: List[np.ndarray],
+        norm_vars: List[np.ndarray],
+    ):
+        """Temporarily present other stacked arrays (and chip count) as live.
+
+        The batched forwards — and captured eval graphs, whose parameter
+        references read ``.data`` at replay time — all consult the layer
+        objects live, so swapping the arrays re-points every kernel without
+        re-patching anything.  Restores the training stacks on exit.
+        """
+        saved_chips = self.num_chips
+        saved_layer = [(layer.weight.data, None if layer.bias is None else layer.bias.data)
+                       for layer in self._layers]
+        saved_norm = [(norm.weight.data, norm.bias.data, norm.running_mean, norm.running_var)
+                      for norm in self._norm_layers]
+        try:
+            self.num_chips = num_chips
+            for layer, weight, bias in zip(self._layers, layer_weights, layer_biases):
+                layer.weight.data = weight
+                if layer.bias is not None:
+                    layer.bias.data = bias
+            for norm, weight, bias, mean, var in zip(
+                self._norm_layers, norm_weights, norm_biases, norm_means, norm_vars
+            ):
+                norm.weight.data = weight
+                norm.bias.data = bias
+                norm.running_mean = mean
+                norm.running_var = var
+            yield
+        finally:
+            self.num_chips = saved_chips
+            for layer, (weight, bias) in zip(self._layers, saved_layer):
+                layer.weight.data = weight
+                if layer.bias is not None:
+                    layer.bias.data = bias
+            for norm, (weight, bias, mean, var) in zip(self._norm_layers, saved_norm):
+                norm.weight.data = weight
+                norm.bias.data = bias
+                norm.running_mean = mean
+                norm.running_var = var
+
+    def _evaluate_snapshots(
+        self, snapshots: List[_EvalSnapshot]
+    ) -> List[Tuple[_EvalSnapshot, List[float]]]:
+        """Evaluate deferred checkpoint snapshots, widened where feasible.
+
+        C snapshots of the same B-chip population stack into one
+        ``(C * B)``-chip evaluation pass — every stacked GEMM widens from B
+        to C·B slices, each im2col lowering is shared by all C checkpoints,
+        and the whole thing is one loader walk instead of C.  Per-checkpoint
+        results are exact unstacked row blocks: chip slices of the widened
+        GEMMs are bit-identical to the B-chip pass (the same per-slice
+        identity the batched substrate already rests on).
+        """
+        if not snapshots:
+            return []
+        # Checkpoints that quantized to the same optimizer step (fine epoch
+        # grids at small batches-per-epoch counts do this constantly) carry
+        # identical stacked weights — no training step ran between them — so
+        # one evaluation pass serves every alias.  This is what makes eval
+        # cost sublinear in the checkpoint count.
+        unique: List[_EvalSnapshot] = []
+        seen_steps: Dict[int, int] = {}
+        for snapshot in snapshots:
+            if snapshot.steps not in seen_steps:
+                seen_steps[snapshot.steps] = len(unique)
+                unique.append(snapshot)
+        if metrics.enabled and len(unique) < len(snapshots):
+            metrics.counter("fat.eval.checkpoints_deduped").inc(
+                len(snapshots) - len(unique)
+            )
+        if len(unique) < len(snapshots):
+            evaluated = self._evaluate_snapshots(unique)
+            by_steps = {snap.steps: accuracies for snap, accuracies in evaluated}
+            return [(snapshot, by_steps[snapshot.steps]) for snapshot in snapshots]
+        total_floats = sum(snapshot.num_floats for snapshot in snapshots)
+        if len(snapshots) > 1 and total_floats <= WIDENED_EVAL_MAX_FLOATS:
+            return self._evaluate_snapshots_widened(snapshots)
+        results: List[Tuple[_EvalSnapshot, List[float]]] = []
+        for snapshot in snapshots:
+            with self._stacks_swapped(
+                self.num_chips,
+                snapshot.layer_weights,
+                snapshot.layer_biases,
+                snapshot.norm_weights,
+                snapshot.norm_biases,
+                snapshot.norm_means,
+                snapshot.norm_vars,
+            ):
+                results.append(
+                    (snapshot, self._evaluate_batched(chain_cache=self._eval_chain_cache))
+                )
+        return results
+
+    def _evaluate_snapshots_widened(
+        self, snapshots: List[_EvalSnapshot]
+    ) -> List[Tuple[_EvalSnapshot, List[float]]]:
+        count = len(snapshots)
+        base = self.num_chips
+        layer_weights = [
+            np.concatenate([s.layer_weights[i] for s in snapshots], axis=0)
+            for i in range(len(self._layers))
+        ]
+        layer_biases: List[Optional[np.ndarray]] = [
+            None
+            if self._layers[i].bias is None
+            else np.concatenate([s.layer_biases[i] for s in snapshots], axis=0)
+            for i in range(len(self._layers))
+        ]
+        norm_weights = [
+            np.concatenate([s.norm_weights[i] for s in snapshots], axis=0)
+            for i in range(len(self._norm_layers))
+        ]
+        norm_biases = [
+            np.concatenate([s.norm_biases[i] for s in snapshots], axis=0)
+            for i in range(len(self._norm_layers))
+        ]
+        norm_means = [
+            np.concatenate([s.norm_means[i] for s in snapshots], axis=0)
+            for i in range(len(self._norm_layers))
+        ]
+        norm_vars = [
+            np.concatenate([s.norm_vars[i] for s in snapshots], axis=0)
+            for i in range(len(self._norm_layers))
+        ]
+        # Captured graphs bake the chip count into their kernels, so the
+        # widened pass must not replay ``_eval_chain_cache`` (captured at B
+        # chips): it captures its own C*B-chip graph.
+        chain_cache = (
+            ChainCache(self._backend, name="fat.eval_widened")
+            if self._backend is not None
+            else None
+        )
+        with trace.span(
+            "fat.eval_widened", checkpoints=count, chips=base
+        ), self._stacks_swapped(
+            count * base, layer_weights, layer_biases,
+            norm_weights, norm_biases, norm_means, norm_vars,
+        ):
+            flat = self._evaluate_batched(chain_cache=chain_cache)
+        return [
+            (snapshot, flat[c * base:(c + 1) * base])
+            for c, snapshot in enumerate(snapshots)
+        ]
 
     def train(
         self,
@@ -1523,25 +2082,66 @@ class BatchedFaultTrainer:
         Checkpoint semantics match :meth:`repro.training.Trainer.train`: the
         same cumulative epoch checkpoints, the same step accounting, and per-
         chip records whose accuracies and losses equal the serial runs'.
+
+        With ``widened_eval`` (the default) and more than one checkpoint,
+        per-checkpoint evaluations are deferred: each checkpoint snapshots
+        the stacked weights and statistics, training continues uninterrupted,
+        and all C snapshots then evaluate in one widened ``(C * B)``-chip
+        pass (see :meth:`_evaluate_snapshots`).  Checkpoints that quantize
+        to the same optimizer step share one evaluation — their weights are
+        identical — so the deferred pass is sublinear in the checkpoint
+        count for fine epoch grids.  Histories are identical
+        either way — evaluation never mutates training state (it runs under
+        ``no_grad`` on fixed weights over the unshuffled eval loader), so the
+        training step sequence, RNG streams and recorded accuracies all
+        match the interleaved schedule bit for bit.
         """
         from repro.training import CheckpointRecord, TrainingHistory, epochs_to_steps
 
         if epochs < 0:
             raise ValueError("epochs must be non-negative")
         histories = [TrainingHistory() for _ in range(self.num_chips)]
-        if include_initial:
-            for history, accuracy in zip(histories, self.evaluate()):
-                history.add(
-                    CheckpointRecord(
-                        epochs=0.0,
-                        steps=self.steps_taken,
-                        train_loss=float("nan"),
-                        eval_accuracy=accuracy,
-                    )
-                )
         checkpoints = sorted(set(float(c) for c in (eval_checkpoints or []) if 0.0 < c <= epochs))
         if epochs > 0 and (not checkpoints or abs(checkpoints[-1] - epochs) > 1e-12):
             checkpoints.append(float(epochs))
+        passes = (1 if include_initial else 0) + len(checkpoints)
+        defer = self._widened_eval and passes > 1
+        snapshots: List[_EvalSnapshot] = []
+
+        def record_checkpoint(epochs_at: float, train_losses: np.ndarray) -> None:
+            if defer:
+                if snapshots and snapshots[-1].steps == self.steps_taken:
+                    # Same optimizer step as the previous checkpoint — the
+                    # stacks have not moved, so alias its arrays rather than
+                    # copying them again.
+                    snapshots.append(
+                        dataclasses.replace(
+                            snapshots[-1],
+                            epochs=epochs_at,
+                            train_losses=np.asarray(
+                                train_losses, dtype=np.float64
+                            ).copy(),
+                        )
+                    )
+                else:
+                    snapshots.append(
+                        self._snapshot_stacks(epochs_at, self.steps_taken, train_losses)
+                    )
+                return
+            accuracies = self.evaluate()
+            steps = self.steps_taken
+            for chip, history in enumerate(histories):
+                history.add(
+                    CheckpointRecord(
+                        epochs=epochs_at,
+                        steps=steps,
+                        train_loss=float(train_losses[chip]),
+                        eval_accuracy=accuracies[chip],
+                    )
+                )
+
+        if include_initial:
+            record_checkpoint(0.0, np.full(self.num_chips, np.nan))
         previous_steps = 0
         for checkpoint in checkpoints:
             target_steps = epochs_to_steps(checkpoint, self.batches_per_epoch)
@@ -1551,13 +2151,14 @@ class BatchedFaultTrainer:
             else:
                 train_losses = np.full(self.num_chips, np.nan)
             previous_steps = target_steps
-            accuracies = self.evaluate()
+            record_checkpoint(checkpoint, train_losses)
+        for snapshot, accuracies in self._evaluate_snapshots(snapshots):
             for chip, history in enumerate(histories):
                 history.add(
                     CheckpointRecord(
-                        epochs=checkpoint,
-                        steps=self.steps_taken,
-                        train_loss=float(train_losses[chip]),
+                        epochs=snapshot.epochs,
+                        steps=snapshot.steps,
+                        train_loss=float(snapshot.train_losses[chip]),
                         eval_accuracy=accuracies[chip],
                     )
                 )

@@ -96,6 +96,8 @@ def _initialize_worker(
     fat_batch: int,
     trace_dir: Optional[str] = None,
     metrics_enabled: bool = False,
+    prefetch: bool = True,
+    lowering_cache_mb: Optional[float] = None,
 ) -> None:
     global _WORKER_FRAMEWORK, _WORKER_FAT_BATCH, _WORKER_OBS_DIR
     from repro.experiments.common import ExperimentContext
@@ -114,6 +116,12 @@ def _initialize_worker(
     metrics.reset()
     _WORKER_OBS_DIR = trace_dir
     context = ExperimentContext.from_preset(preset, disk_cache_dir=disk_cache_dir)
+    # Configure before building the framework so every framework this worker
+    # creates shares the context's (possibly fork-inherited, already warm)
+    # lowering cache with the right knobs.
+    context.configure_eval_pipeline(
+        prefetch=prefetch, lowering_cache_mb=lowering_cache_mb
+    )
     _WORKER_FRAMEWORK = context.framework()
     _WORKER_FAT_BATCH = fat_batch
 
@@ -139,6 +147,8 @@ def _supervised_worker_initializer(
     trace_dir: Optional[str],
     metrics_enabled: bool,
     chaos_schedule: Optional[ChaosSchedule],
+    prefetch: bool = True,
+    lowering_cache_mb: Optional[float] = None,
 ):
     """Build the per-process chunk executor for the supervising executor.
 
@@ -148,7 +158,10 @@ def _supervised_worker_initializer(
     drives.  The chaos schedule travels with the initializer args, so a
     replacement worker fires the same planned faults as the one it replaced.
     """
-    _initialize_worker(preset, disk_cache_dir, fat_batch, trace_dir, metrics_enabled)
+    _initialize_worker(
+        preset, disk_cache_dir, fat_batch, trace_dir, metrics_enabled,
+        prefetch=prefetch, lowering_cache_mb=lowering_cache_mb,
+    )
 
     def execute(
         chunk: List[ChipJob], chunk_index: int, attempt: int
@@ -271,6 +284,18 @@ class CampaignEngine:
         chains and JIT-compiles them when numba is available, falling back
         to ``"numpy"`` (with a logged warning) otherwise.  The job carries
         the tag, so worker processes honour it without extra configuration.
+    prefetch:
+        Background double-buffering of eval-batch lowerings (``False`` ←
+        ``--no-prefetch``): while one batch's stacked GEMMs run, a helper
+        thread lowers the next batch.  Pure throughput knob — results are
+        bit-identical either way — applied to the inline path and every
+        worker.
+    lowering_cache_mb:
+        Byte cap (in MB) of the shared eval-lowering cache
+        (``--lowering-cache-mb``); ``None`` keeps the default
+        (:data:`~repro.accelerator.batched.DEFAULT_LOWERING_CACHE_MB`).
+        LRU entries are evicted past the cap — a throughput fallback, never
+        a correctness change.
     """
 
     DEFAULT_FAT_BATCH = 8
@@ -293,6 +318,8 @@ class CampaignEngine:
         chaos: Optional[Union[str, ChaosSpec]] = None,
         supervisor_config: Optional[SupervisorConfig] = None,
         backend: Optional[str] = None,
+        prefetch: bool = True,
+        lowering_cache_mb: Optional[float] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -303,6 +330,10 @@ class CampaignEngine:
         if heartbeat_seconds is not None and heartbeat_seconds < 0:
             raise ValueError(
                 f"heartbeat_seconds must be non-negative, got {heartbeat_seconds}"
+            )
+        if lowering_cache_mb is not None and lowering_cache_mb < 0:
+            raise ValueError(
+                f"lowering_cache_mb must be non-negative, got {lowering_cache_mb}"
             )
         self.context = context
         self.jobs = int(jobs)
@@ -315,6 +346,10 @@ class CampaignEngine:
         self.heartbeat_seconds = heartbeat_seconds
         self.chaos_spec = resolve_chaos(chaos)
         self.backend = backend
+        self.prefetch = bool(prefetch)
+        self.lowering_cache_mb = (
+            float(lowering_cache_mb) if lowering_cache_mb is not None else None
+        )
         if supervisor_config is not None:
             self.supervisor_config = supervisor_config
         else:
@@ -370,6 +405,13 @@ class CampaignEngine:
         run_span,
     ) -> CampaignResult:
         metrics.gauge("campaign.phase").set("plan")
+        # Eval-pipeline knobs apply to the context (and so to every framework
+        # built from it, here and in this run's inline chunk executions); the
+        # shared lowering cache survives across runs of the same engine and
+        # across sweep arms sharing the context.
+        self.context.configure_eval_pipeline(
+            prefetch=self.prefetch, lowering_cache_mb=self.lowering_cache_mb
+        )
         with trace.span("campaign.plan", stage="build_jobs"):
             framework = self.context.framework()
             job_list = build_jobs(
@@ -801,6 +843,8 @@ class CampaignEngine:
                 trace_dir,
                 metrics.enabled,
                 chaos_schedule,
+                self.prefetch,
+                self.lowering_cache_mb,
             ),
             config=self.supervisor_config,
         )
@@ -818,6 +862,8 @@ def run_campaign(
     fat_batch: Optional[int] = None,
     strategy: StrategyLike = None,
     backend: Optional[str] = None,
+    prefetch: bool = True,
+    lowering_cache_mb: Optional[float] = None,
 ) -> CampaignResult:
     """One-call convenience wrapper around :class:`CampaignEngine`."""
     engine = CampaignEngine(
@@ -828,5 +874,7 @@ def run_campaign(
         progress=progress,
         fat_batch=fat_batch,
         backend=backend,
+        prefetch=prefetch,
+        lowering_cache_mb=lowering_cache_mb,
     )
     return engine.run(population, policy, strategy=strategy)

@@ -224,6 +224,7 @@ def execute_job_chunk(
     # whichever process ran the chunk (worker shards are keyed by pid), and a
     # killed-then-resumed campaign may legitimately record the same chunk
     # twice.  Committed chips are the parent-side "campaign.chip" instants.
+    pipeline = framework.eval_pipeline
     with trace.span(
         "campaign.chunk",
         chips=len(chunk_list),
@@ -232,6 +233,8 @@ def execute_job_chunk(
         backend=chunk_list[0].backend or "eager",
         batched=len(chunk_list) > 1 and fat_batch > 1,
         attempt=attempt,
+        prefetch=pipeline.prefetch,
+        widened_eval=pipeline.widened_eval,
     ):
         if len(chunk_list) <= 1 or fat_batch <= 1:
             results = [execute_job(framework, job) for job in chunk_list]

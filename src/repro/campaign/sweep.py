@@ -82,6 +82,8 @@ def run_strategy_sweep(
     chunk_timeout: Optional[float] = None,
     chaos: Optional[str] = None,
     backend: Optional[str] = None,
+    prefetch: bool = True,
+    lowering_cache_mb: Optional[float] = None,
 ) -> StrategySweepResult:
     """Run one population through K mitigation strategies under one policy.
 
@@ -92,6 +94,13 @@ def run_strategy_sweep(
     (``max_chunk_retries``, ``chunk_timeout``, ``chaos``) are forwarded to
     the shared engine and therefore apply to every strategy arm, as does the
     compute ``backend`` every arm's jobs are tagged with.
+
+    The pipelined-eval knobs (``prefetch``, ``lowering_cache_mb``) also ride
+    the shared engine — and because the engine configures the *context's*
+    eval pipeline, the lowering cache is sweep-wide: K strategy arms over the
+    same population walk the same unshuffled eval batches, so arms 2..K hit
+    lowerings arm 1 already computed (``lowering_cache.hits``) instead of
+    re-lowering each batch K times.
     """
     strategy_list = parse_strategy_list(strategies)
 
@@ -108,6 +117,8 @@ def run_strategy_sweep(
         chunk_timeout=chunk_timeout,
         chaos=chaos,
         backend=backend,
+        prefetch=prefetch,
+        lowering_cache_mb=lowering_cache_mb,
     )
     campaigns: "OrderedDict[str, CampaignResult]" = OrderedDict()
     reports: Dict[str, CampaignReport] = {}

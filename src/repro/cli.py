@@ -153,6 +153,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "either way",
     )
     parser.add_argument(
+        "--no-prefetch",
+        action="store_true",
+        help="disable background prefetch of eval-batch lowerings "
+        "(campaign/compare). Prefetch overlaps the next batch's im2col with "
+        "the current batch's stacked GEMMs; results are bit-identical with "
+        "or without it",
+    )
+    parser.add_argument(
+        "--lowering-cache-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="byte cap (in MB) of the shared eval-lowering cache "
+        "(campaign/compare; default: 128, sized to hold the fast preset's "
+        "lowered test set). LRU batches are evicted past the cap; 0 disables "
+        "caching. Pure throughput knob — results are bit-identical",
+    )
+    parser.add_argument(
         "--backend",
         default=None,
         metavar="NAME",
@@ -268,6 +286,8 @@ def _run_campaign(context: ExperimentContext, args: argparse.Namespace) -> Dict[
         chunk_timeout=args.chunk_timeout,
         chaos=args.chaos,
         backend=args.backend,
+        prefetch=not args.no_prefetch,
+        lowering_cache_mb=args.lowering_cache_mb,
     )
     if args.policy == "fixed":
         result = engine.run_fixed(population, args.fixed_epochs, strategy=args.strategy)
@@ -324,6 +344,8 @@ def _run_compare(context: ExperimentContext, args: argparse.Namespace) -> Dict[s
         chunk_timeout=args.chunk_timeout,
         chaos=args.chaos,
         backend=args.backend,
+        prefetch=not args.no_prefetch,
+        lowering_cache_mb=args.lowering_cache_mb,
     )
     print(result.table())
     print()
@@ -366,6 +388,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--max-chunk-retries must be >= 0")
     if args.chunk_timeout is not None and args.chunk_timeout <= 0:
         parser.error("--chunk-timeout must be positive")
+    if args.lowering_cache_mb is not None and args.lowering_cache_mb < 0:
+        parser.error("--lowering-cache-mb must be non-negative")
     if args.backend is None:
         args.backend = os.environ.get(BACKEND_ENV_VAR) or "numpy"
     if args.backend not in available_backends():

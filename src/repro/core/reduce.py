@@ -23,6 +23,7 @@ import numpy as np
 from repro import nn
 from repro.accelerator.batched import (
     BatchedFaultTrainer,
+    EvalPipeline,
     evaluate_chip_accuracies,
 )
 from repro.accelerator.systolic_array import SystolicArray
@@ -249,12 +250,19 @@ class ReduceFramework:
         bundle: DatasetBundle,
         array: SystolicArray,
         config: Optional[ReduceConfig] = None,
+        eval_pipeline: Optional[EvalPipeline] = None,
     ) -> None:
         self.model = model
         self.pretrained_state = clone_state_dict(pretrained_state)
         self.bundle = bundle
         self.array = array
         self.config = config if config is not None else ReduceConfig()
+        # Pipelined-eval configuration + the shared lowering cache.  Passing
+        # one pipeline into several frameworks (as the experiment context
+        # does) shares the cache across them: triage, campaign chunks and
+        # whole strategy-sweep arms over the same population lower each eval
+        # batch once instead of once per consumer.
+        self.eval_pipeline = eval_pipeline if eval_pipeline is not None else EvalPipeline()
         self._profile: Optional[ResilienceProfile] = None
         self._clean_accuracy: Optional[float] = None
 
@@ -352,11 +360,13 @@ class ReduceFramework:
         self._restore_pretrained()
         eval_batch = self.config.effective_retraining_config().batch_size * 4
         accuracies: List[float] = []
-        # One shared-prefix lowering cache for the whole population: every
-        # chunk evaluates the same unshuffled test batches against the same
-        # pre-trained weights, so each batch is im2col-lowered exactly once
-        # regardless of how many chip chunks the population spans.
-        lowering_cache: Dict = {}
+        # The pipeline's shared lowering cache serves the whole population —
+        # and any other consumer of this pipeline (later campaign chunks,
+        # other sweep arms): every chunk evaluates the same unshuffled test
+        # batches against the same pre-trained weights, so each batch is
+        # im2col-lowered exactly once regardless of how many chip chunks (or
+        # strategy arms) walk it.
+        pipeline = self.eval_pipeline
         # Masks are built (and released) chunk by chunk so peak memory is
         # bounded by ``chip_chunk`` mask sets, not the population size.
         for start in range(0, len(chip_list), chip_chunk):
@@ -371,8 +381,9 @@ class ReduceFramework:
                     mask_sets,
                     batch_size=eval_batch,
                     chip_chunk=chip_chunk,
-                    lowering_cache=lowering_cache,
+                    lowering_cache=pipeline.cache,
                     backend=backend,
+                    prefetch=pipeline.prefetch,
                 )
             )
         return {chip.chip_id: acc for chip, acc in zip(chip_list, accuracies)}
@@ -538,6 +549,7 @@ class ReduceFramework:
         target = target_accuracy if target_accuracy is not None else self.target_accuracy
         before_map = accuracies_before or {}
         eval_batch = self.config.effective_retraining_config().batch_size * 4
+        pipeline = self.eval_pipeline
         results: List[Optional[ChipRetrainingResult]] = [None] * len(chip_list)
 
         # Bypassable chips are satisfied by the shrunk array alone: their
@@ -570,7 +582,9 @@ class ReduceFramework:
                     mask_sets,
                     batch_size=eval_batch,
                     chip_chunk=fat_batch,
+                    lowering_cache=pipeline.cache,
                     backend=backend,
+                    prefetch=pipeline.prefetch,
                 )
                 for position, pos in enumerate(missing):
                     before[pos] = evaluated[position]
@@ -603,7 +617,9 @@ class ReduceFramework:
                         [mask_sets[i] for i in missing],
                         batch_size=eval_batch,
                         chip_chunk=fat_batch,
+                        lowering_cache=pipeline.cache,
                         backend=backend,
+                        prefetch=pipeline.prefetch,
                     )
                     for position, index in enumerate(missing):
                         before[index] = evaluated[position]
@@ -621,6 +637,9 @@ class ReduceFramework:
                 self.bundle.test,
                 config=self._fat_training_config(),
                 backend=backend,
+                lowering_cache=pipeline.cache,
+                prefetch=pipeline.prefetch,
+                widened_eval=pipeline.widened_eval,
             )
             before = [before_map.get(chip.chip_id) for chip in chunk]
             if any(value is None for value in before):

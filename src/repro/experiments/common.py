@@ -24,6 +24,7 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 
 from repro import nn
+from repro.accelerator.batched import EvalPipeline
 from repro.accelerator.systolic_array import SystolicArray
 from repro.core.constraints import AccuracyConstraint
 from repro.core.reduce import ReduceConfig, ReduceFramework
@@ -177,6 +178,13 @@ class ExperimentContext:
     array: SystolicArray
     clean_accuracy: float
     _profile: Optional[ResilienceProfile] = None
+    # Lazily-created pipelined-eval configuration (prefetch, widened
+    # multi-checkpoint GEMMs, shared lowering cache).  It lives on the
+    # context — not on a framework — because :meth:`framework` returns a
+    # fresh framework per call: sharing the pipeline is what lets triage,
+    # campaign chunks and successive sweep arms reuse each other's eval-batch
+    # lowerings.
+    _eval_pipeline: Optional[EvalPipeline] = None
 
     # -- construction -----------------------------------------------------------
 
@@ -251,6 +259,26 @@ class ExperimentContext:
             retraining=self.preset.retraining,
         )
 
+    @property
+    def eval_pipeline(self) -> EvalPipeline:
+        """The context-wide pipelined-eval configuration (created on demand)."""
+        if self._eval_pipeline is None:
+            self._eval_pipeline = EvalPipeline()
+        return self._eval_pipeline
+
+    def configure_eval_pipeline(
+        self,
+        prefetch: Optional[bool] = None,
+        widened_eval: Optional[bool] = None,
+        lowering_cache_mb: Optional[float] = None,
+    ) -> EvalPipeline:
+        """Apply CLI/engine eval-pipeline overrides for this context."""
+        return self.eval_pipeline.configure(
+            prefetch=prefetch,
+            widened_eval=widened_eval,
+            lowering_cache_mb=lowering_cache_mb,
+        )
+
     def framework(self) -> ReduceFramework:
         """A fresh :class:`ReduceFramework` over this context's inputs."""
         framework = ReduceFramework(
@@ -259,6 +287,7 @@ class ExperimentContext:
             self.bundle,
             self.array,
             config=self.reduce_config(),
+            eval_pipeline=self.eval_pipeline,
         )
         if self._profile is not None:
             framework.set_profile(self._profile)

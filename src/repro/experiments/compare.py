@@ -179,6 +179,8 @@ def run_compare(
     chunk_timeout: Optional[float] = None,
     chaos: Optional[str] = None,
     backend: Optional[str] = None,
+    prefetch: bool = True,
+    lowering_cache_mb: Optional[float] = None,
 ) -> CompareResult:
     """Run the multi-strategy comparison on the given context.
 
@@ -218,6 +220,8 @@ def run_compare(
         chunk_timeout=chunk_timeout,
         chaos=chaos,
         backend=backend,
+        prefetch=prefetch,
+        lowering_cache_mb=lowering_cache_mb,
     )
 
     rows: List[Dict[str, object]] = []

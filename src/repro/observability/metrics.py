@@ -12,7 +12,7 @@ Instruments::
     metrics.counter("campaign.chips_completed", strategy="fat").inc()
     metrics.gauge("campaign.phase").set("execute")
     metrics.histogram("store.fsync_seconds").observe(0.0021)
-    with metrics.timer("fat.im2col_seconds"): ...   # no-op when disabled
+    with metrics.timer("fat.eval.im2col_seconds"): ...   # no-op when disabled
 
 Label kwargs are folded into the metric key (``name{k=v,...}``), so a sweep's
 per-strategy throughput counters coexist in one registry.  Snapshots are

@@ -160,16 +160,15 @@ class TestLoweringCache:
         )
         assert cached == uncached
 
-    def test_cache_respects_float_budget(self, conv_setup, image_bundle, monkeypatch):
+    def test_cache_respects_byte_budget(self, conv_setup, image_bundle):
         """Inserts stop at the budget; results are unchanged (just uncached)."""
-        import repro.accelerator.batched as batched_module
+        from repro.accelerator.batched import LoweringCache
 
         model, _, _, mask_sets = conv_setup
         unbounded = evaluate_chip_accuracies(
             model, image_bundle.test, mask_sets, batch_size=16, chip_chunk=2
         )
-        monkeypatch.setattr(batched_module, "LOWERING_CACHE_MAX_FLOATS", 0)
-        cache = {}
+        cache = LoweringCache(max_bytes=0)
         bounded = evaluate_chip_accuracies(
             model,
             image_bundle.test,
@@ -178,16 +177,57 @@ class TestLoweringCache:
             chip_chunk=2,
             lowering_cache=cache,
         )
-        assert cache == {}  # budget of zero: nothing cached
+        assert len(cache) == 0  # budget of zero: nothing cached
+        assert cache.nbytes == 0
         assert bounded == unbounded
 
+    def test_cache_evicts_lru_past_the_cap(self, conv_setup, image_bundle):
+        """A cap below the working set keeps the cache bounded, not broken."""
+        from repro.accelerator.batched import LoweringCache
+
+        model, _, _, mask_sets = conv_setup
+        unbounded_cache = LoweringCache()
+        unbounded = evaluate_chip_accuracies(
+            model, image_bundle.test, mask_sets, batch_size=16, chip_chunk=2,
+            lowering_cache=unbounded_cache,
+        )
+        assert len(unbounded_cache) > 1
+        # Cap to one largest entry: every later insert evicts the previous.
+        one_entry = max(
+            entry[0].nbytes for entry in unbounded_cache._entries.values()
+        )
+        cache = LoweringCache(max_bytes=one_entry)
+        bounded = evaluate_chip_accuracies(
+            model, image_bundle.test, mask_sets, batch_size=16, chip_chunk=2,
+            lowering_cache=cache,
+        )
+        assert bounded == unbounded
+        assert len(cache) >= 1
+        assert cache.nbytes <= one_entry
+
+    def test_set_max_bytes_shrinks_in_place(self, conv_setup, image_bundle):
+        from repro.accelerator.batched import LoweringCache
+
+        model, _, _, mask_sets = conv_setup
+        cache = LoweringCache()
+        evaluate_chip_accuracies(
+            model, image_bundle.test, mask_sets, batch_size=16, chip_chunk=2,
+            lowering_cache=cache,
+        )
+        assert cache.nbytes > 0
+        cache.set_max_bytes(0)
+        assert len(cache) == 0
+        assert cache.nbytes == 0
+
     def test_cache_ignored_for_inputs_of_unknown_identity(self, conv_setup, image_bundle):
+        from repro.accelerator.batched import LoweringCache
+
         model, pretrained, _, mask_sets = conv_setup
-        cache = {}
+        cache = LoweringCache()
         evaluator = BatchedFaultEvaluator(model, mask_sets[:2], lowering_cache=cache)
         inputs, _ = next(iter(DataLoader(image_bundle.test, batch_size=4)))
         evaluator.evaluate_logits(inputs)
-        assert cache == {}  # evaluate_logits never caches
+        assert len(cache) == 0  # evaluate_logits never caches
 
 
 class TestBatchedValidation:
