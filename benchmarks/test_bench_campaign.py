@@ -148,6 +148,52 @@ def test_bench_mitigation_sweep_jobsN(benchmark, fast_context, bench_population)
         assert sweep.campaign(name).results == baseline.campaign(name).results
 
 
+def test_bench_campaign_distributed_1worker(benchmark, fast_context, bench_population):
+    """Fixed-budget campaign through the socket scheduler with ONE worker.
+
+    The baseline of the distributed scaling pair: every chunk crosses the
+    localhost TCP transport (claim/chunk/result frames plus the handshake's
+    context build in the forked worker), so this pins the per-chunk transport
+    overhead against the in-process runs above.
+    """
+    engine = CampaignEngine(
+        fast_context, jobs=1, fat_batch=FAT_BATCH, listen=("127.0.0.1", 0)
+    )
+    try:
+        campaign = run_once(
+            benchmark, engine.run, bench_population, FixedEpochPolicy(BUDGET)
+        )
+    finally:
+        engine.close()
+    benchmark.extra_info["socket_workers"] = 1
+    _record_throughput(benchmark, engine)
+    assert campaign.num_chips == len(bench_population)
+
+
+def test_bench_campaign_distributed_2workers(benchmark, fast_context, bench_population):
+    """Same campaign over TWO socket workers: the distributed scaling point.
+
+    Work-stealing claims should split the chunks across both workers, and the
+    headline invariant must hold — rows bit-identical to the serial in-process
+    engine, no matter which worker executed which chunk.
+    """
+    serial = CampaignEngine(fast_context, jobs=1, fat_batch=FAT_BATCH).run(
+        bench_population, FixedEpochPolicy(BUDGET)
+    )
+    engine = CampaignEngine(
+        fast_context, jobs=2, fat_batch=FAT_BATCH, listen=("127.0.0.1", 0)
+    )
+    try:
+        campaign = run_once(
+            benchmark, engine.run, bench_population, FixedEpochPolicy(BUDGET)
+        )
+    finally:
+        engine.close()
+    benchmark.extra_info["socket_workers"] = 2
+    _record_throughput(benchmark, engine)
+    assert campaign.results == serial.results
+
+
 def test_bench_campaign_tracing_off(benchmark, fast_context, bench_population):
     """Baseline of the tracer-overhead pair: instrumented code, tracing off.
 

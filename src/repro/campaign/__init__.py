@@ -8,6 +8,13 @@ into picklable per-chip jobs, shards them across supervised worker processes
 content-addressed JSONL store that supports resuming interrupted campaigns
 and verifying store integrity.  A deterministic chaos harness
 (:mod:`repro.campaign.chaos`) exercises every recovery path from tests.
+
+Campaigns also scale past one host: :mod:`repro.campaign.transport` frames
+JSON messages over TCP sockets with a versioned hello handshake, and
+:mod:`repro.campaign.scheduler` serves plan chunks to local *and* remote
+socket workers via work-stealing claims, reusing the supervisor's
+retry/quarantine chunk ledger so distributed recovery matches local
+recovery exactly.
 """
 
 from repro.campaign.chaos import CHAOS_ENV_VAR, ChaosError, ChaosSpec, resolve_chaos
@@ -28,12 +35,29 @@ from repro.campaign.store import (
     campaign_fingerprint,
     discover_stores,
 )
+from repro.campaign.scheduler import (
+    CampaignCoordinator,
+    SchedulerConfig,
+    SchedulerError,
+    WorkerRejected,
+    run_worker,
+)
 from repro.campaign.supervisor import (
     ChunkFailure,
+    ChunkLedger,
     SupervisingExecutor,
     SupervisorConfig,
 )
 from repro.campaign.sweep import StrategySweepResult, run_strategy_sweep
+from repro.campaign.transport import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameError,
+    HandshakeError,
+    TransportError,
+    find_free_port,
+    parse_address,
+)
 
 __all__ = [
     "CHAOS_ENV_VAR",
@@ -56,8 +80,21 @@ __all__ = [
     "campaign_fingerprint",
     "discover_stores",
     "ChunkFailure",
+    "ChunkLedger",
     "SupervisingExecutor",
     "SupervisorConfig",
     "StrategySweepResult",
     "run_strategy_sweep",
+    "CampaignCoordinator",
+    "SchedulerConfig",
+    "SchedulerError",
+    "WorkerRejected",
+    "run_worker",
+    "PROTOCOL_VERSION",
+    "FrameDecoder",
+    "FrameError",
+    "HandshakeError",
+    "TransportError",
+    "find_free_port",
+    "parse_address",
 ]

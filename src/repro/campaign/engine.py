@@ -9,11 +9,22 @@ workload in two stages:
   ``fat_batch`` jobs (:func:`~repro.campaign.jobs.plan_job_chunks`).
 * **Execute.** Whole chunks — not single chips — are dispatched to a set of
   supervised worker processes (``jobs > 1``;
-  :class:`~repro.campaign.supervisor.SupervisingExecutor`) or executed
+  :class:`~repro.campaign.supervisor.SupervisingExecutor`), to a
+  socket-transport worker fleet (``listen=``/``workers=``;
+  :class:`~repro.campaign.scheduler.CampaignCoordinator`), or executed
   inline (``jobs == 1``).  A multi-job chunk runs through one stacked
   :class:`~repro.accelerator.batched.BatchedFaultTrainer`, so process-level
   parallelism and stacked-GEMM batching compose: ``--jobs N`` workers each
   retrain ``--fat-batch`` chips per dispatch.
+
+In distributed mode the engine owns a coordinator from construction time:
+remote workers join over TCP (``repro-reduce worker --join HOST:PORT``)
+while ``jobs`` local socket workers are forked lazily at the first
+distributed execution.  Chunks are pulled via work-stealing claims, results
+commit through the same content-addressed store on the coordinator host,
+and the population-shared retraining seed makes every chunk bit-identical
+no matter which host executed it — a distributed campaign resumes and
+fingerprints exactly like a local one.
 
 Execution is fault-tolerant: the supervisor detects dead workers (OOM kills,
 crashes) and hung chunks (per-chunk deadlines), reassigns the chunk to a
@@ -49,7 +60,7 @@ import multiprocessing
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.chaos import ChaosSchedule, ChaosSpec, resolve_chaos
 from repro.campaign.jobs import (
@@ -57,6 +68,11 @@ from repro.campaign.jobs import (
     build_jobs,
     execute_job_chunk,
     plan_job_chunks,
+)
+from repro.campaign.scheduler import (
+    CampaignCoordinator,
+    SchedulerConfig,
+    _local_worker_main,
 )
 from repro.campaign.store import CampaignStore, campaign_fingerprint
 from repro.campaign.supervisor import (
@@ -296,6 +312,20 @@ class CampaignEngine:
         (:data:`~repro.accelerator.batched.DEFAULT_LOWERING_CACHE_MB`).
         LRU entries are evicted past the cap — a throughput fallback, never
         a correctness change.
+    listen:
+        ``(host, port)`` to accept socket workers on (``--listen``); turns
+        the engine distributed.  Port ``0`` binds an ephemeral port — the
+        bound address is ``engine.listen_address``.
+    workers:
+        ``(host, port)`` addresses of listening socket workers the
+        coordinator should dial (``--workers host:port,…``); also turns the
+        engine distributed.  In distributed mode ``jobs`` is the number of
+        *local* socket workers forked alongside the remote ones and may be
+        ``0`` (remote-only execution).
+    scheduler_config:
+        Transport knobs (:class:`~repro.campaign.scheduler.SchedulerConfig`)
+        of the distributed coordinator; chunk retry/deadline policy stays in
+        ``supervisor_config`` and is shared with the local executor.
     """
 
     DEFAULT_FAT_BATCH = 8
@@ -320,8 +350,16 @@ class CampaignEngine:
         backend: Optional[str] = None,
         prefetch: bool = True,
         lowering_cache_mb: Optional[float] = None,
+        listen: Optional[Tuple[str, int]] = None,
+        workers: Optional[Sequence[Tuple[str, int]]] = None,
+        scheduler_config: Optional[SchedulerConfig] = None,
     ) -> None:
-        if jobs < 1:
+        self.distributed = listen is not None or bool(workers)
+        if self.distributed:
+            # jobs counts *local socket workers* here; 0 = remote-only.
+            if jobs < 0:
+                raise ValueError(f"jobs must be >= 0 in distributed mode, got {jobs}")
+        elif jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -363,6 +401,30 @@ class CampaignEngine:
                 chunk_timeout=chunk_timeout,
             )
         self.last_report: Optional[CampaignReport] = None
+
+        self._coordinator: Optional[CampaignCoordinator] = None
+        self._local_socket_workers: List[multiprocessing.process.BaseProcess] = []
+        self.listen_address: Optional[Tuple[str, int]] = None
+        if self.distributed:
+            self._coordinator = CampaignCoordinator(
+                preset=context.preset,
+                listen=listen,
+                connect=list(workers or ()),
+                backend=self.backend,
+                fat_batch=self.fat_batch,
+                prefetch=self.prefetch,
+                lowering_cache_mb=self.lowering_cache_mb,
+                supervisor_config=self.supervisor_config,
+                config=scheduler_config,
+            )
+            self.listen_address = self._coordinator.address
+            if self.chaos_spec is not None:
+                logger.warning(
+                    "campaign: chaos process faults are not propagated to "
+                    "socket workers (kill them externally to exercise the "
+                    "distributed recovery path); torn-write injection still "
+                    "applies coordinator-side"
+                )
 
     # -- public API ---------------------------------------------------------------
 
@@ -572,7 +634,9 @@ class CampaignEngine:
             # across all requested workers instead of starving them.
             metrics.gauge("campaign.phase").set("plan")
             with trace.span("campaign.plan", stage="chunk", chips=len(pending)):
-                plan = plan_job_chunks(pending, self.fat_batch, workers=self.jobs)
+                plan = plan_job_chunks(
+                    pending, self.fat_batch, workers=self._plan_worker_hint()
+                )
             metrics.counter("campaign.chunks_planned").inc(len(plan))
             if self.chaos_spec is not None:
                 chaos_schedule = self.chaos_spec.schedule(len(plan))
@@ -606,7 +670,9 @@ class CampaignEngine:
             with trace.span(
                 "campaign.execute", chunks=len(plan), chips=len(pending)
             ):
-                if self.jobs > 1 and len(plan) > 1 and not all_lookups:
+                if self._coordinator is not None and not all_lookups:
+                    failures = self._execute_distributed(plan, record_chunk, strategy)
+                elif self.jobs > 1 and len(plan) > 1 and not all_lookups:
                     failures = self._execute_parallel(
                         plan, record_chunk, chaos_schedule
                     )
@@ -849,6 +915,91 @@ class CampaignEngine:
             config=self.supervisor_config,
         )
         return executor.run()
+
+    # -- executor: distributed dispatch ----------------------------------------------
+
+    def _plan_worker_hint(self) -> int:
+        """Worker count for plan sizing (local pool or socket fleet)."""
+        if self._coordinator is None:
+            return max(1, self.jobs)
+        return max(1, self.jobs + self._coordinator.worker_hint())
+
+    def _ensure_local_socket_workers(self) -> None:
+        """Fork ``jobs`` local socket workers joined to our own coordinator.
+
+        Lazy (first distributed execution) so a remote-only campaign never
+        forks, and idempotent across sweep arms — dead workers are replaced.
+        Local workers speak the same socket protocol as remote ones: one
+        execution path, one recovery story.
+        """
+        assert self._coordinator is not None
+        self._local_socket_workers = [
+            process for process in self._local_socket_workers if process.is_alive()
+        ]
+        missing = self.jobs - len(self._local_socket_workers)
+        if missing <= 0:
+            return
+        mp_context = multiprocessing.get_context(_start_method())
+        join_address = ("127.0.0.1", self._coordinator.address[1])
+        for _ in range(missing):
+            process = mp_context.Process(
+                target=_local_worker_main,
+                args=(join_address, self.disk_cache_dir),
+                daemon=True,
+                name="campaign-socket-worker",
+            )
+            process.start()
+            self._local_socket_workers.append(process)
+        logger.info(
+            "campaign: started %d local socket worker(s) joining %s",
+            missing,
+            f"{join_address[0]}:{join_address[1]}",
+        )
+
+    def _execute_distributed(
+        self,
+        plan: Sequence[List[ChipJob]],
+        record_chunk: Callable[[Sequence[ChipRetrainingResult]], None],
+        strategy,
+    ) -> List[ChunkFailure]:
+        """Serve plan chunks to the socket worker fleet via the coordinator.
+
+        Results commit through ``record_chunk`` on this thread exactly like
+        the local executors, so the store/fsync/resume protocol — and the
+        bit-identity guarantee — is unchanged; only the transport differs.
+        """
+        assert self._coordinator is not None
+        self._ensure_local_socket_workers()
+        total_chips = sum(len(chunk) for chunk in plan)
+        logger.info(
+            "campaign: serving %d chips in %d chunks to socket workers "
+            "(%d local, listening on %s)",
+            total_chips,
+            len(plan),
+            self.jobs,
+            f"{self.listen_address[0]}:{self.listen_address[1]}",
+        )
+        return self._coordinator.run_plan(
+            plan, record_chunk, strategy=strategy.name
+        )
+
+    def close(self) -> None:
+        """Shut down the distributed fleet (idempotent; no-op when local)."""
+        if self._coordinator is not None:
+            self._coordinator.close()
+            self._coordinator = None
+        for process in self._local_socket_workers:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - shutdown stragglers
+                process.terminate()
+                process.join(timeout=5.0)
+        self._local_socket_workers = []
+
+    def __enter__(self) -> "CampaignEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 def run_campaign(

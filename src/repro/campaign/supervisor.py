@@ -207,94 +207,31 @@ class _ChunkState:
         self.status = "pending"  # pending | running | done | quarantined
 
 
-class SupervisingExecutor:
-    """Dispatch a campaign plan across supervised worker processes.
+class ChunkLedger:
+    """Transport-agnostic chunk-state machine of one campaign plan.
 
-    Parameters
-    ----------
-    plan:
-        The ordered chunk list from :func:`~repro.campaign.jobs.plan_job_chunks`.
-    record_chunk:
-        Parent-side commit callback (store append + bookkeeping); called
-        exactly once per completed chunk, in completion order.
-    workers:
-        Number of worker processes to keep alive.
-    mp_context:
-        The ``multiprocessing`` context (fork on Linux, spawn elsewhere).
-    initializer / initargs:
-        Build the per-process execute callable; see
-        :func:`_supervised_worker_main`.
-    config:
-        Retry/deadline/backoff knobs (:class:`SupervisorConfig`).
+    The ledger owns everything about *what work is in which state* — ready
+    selection with backoff, attempt counting, duplicate-completion dropping,
+    retry-or-quarantine on failure, and the adaptive per-chunk deadline —
+    while staying ignorant of *who* executes chunks.  The local
+    :class:`SupervisingExecutor` (process pool) and the socket-transport
+    :class:`~repro.campaign.scheduler.CampaignCoordinator` both drive their
+    workers against one ledger, so a remote worker death is retried and
+    quarantined by exactly the machinery PR 7 proved out locally.
     """
 
     def __init__(
-        self,
-        plan: Sequence[List[ChipJob]],
-        record_chunk: Callable[[Sequence[Any]], None],
-        workers: int,
-        mp_context,
-        initializer: Callable[..., Callable[[List[ChipJob], int, int], Any]],
-        initargs: Tuple[Any, ...],
-        config: Optional[SupervisorConfig] = None,
+        self, plan: Sequence[List[ChipJob]], config: Optional[SupervisorConfig] = None
     ) -> None:
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
-        self.plan = [list(chunk) for chunk in plan]
-        self.record_chunk = record_chunk
-        self.worker_count = min(workers, len(self.plan)) or 1
-        self.mp_context = mp_context
-        self.initializer = initializer
-        self.initargs = tuple(initargs)
         self.config = config if config is not None else SupervisorConfig()
+        self.chunks = [_ChunkState(i, list(chunk)) for i, chunk in enumerate(plan)]
         self.failures: List[ChunkFailure] = []
-        self._chunks = [_ChunkState(i, chunk) for i, chunk in enumerate(self.plan)]
-        self._workers: Dict[int, _WorkerHandle] = {}
-        self._next_worker_id = 0
-        self._result_queue = None
         self._durations: List[float] = []
-
-    # -- worker lifecycle -----------------------------------------------------
-
-    def _spawn_worker(self) -> _WorkerHandle:
-        worker_id = self._next_worker_id
-        self._next_worker_id += 1
-        task_queue = self.mp_context.Queue()
-        process = self.mp_context.Process(
-            target=_supervised_worker_main,
-            args=(
-                worker_id,
-                task_queue,
-                self._result_queue,
-                self.initializer,
-                self.initargs,
-            ),
-            daemon=True,
-            name=f"campaign-worker-{worker_id}",
-        )
-        process.start()
-        handle = _WorkerHandle(worker_id=worker_id, process=process, task_queue=task_queue)
-        self._workers[worker_id] = handle
-        return handle
-
-    def _discard_worker(self, handle: _WorkerHandle, kill: bool = False) -> None:
-        self._workers.pop(handle.worker_id, None)
-        if kill and handle.process.is_alive():
-            handle.process.kill()
-        handle.process.join(self.config.join_timeout)
-        if handle.process.is_alive():  # pragma: no cover - last resort
-            handle.process.kill()
-            handle.process.join(self.config.join_timeout)
-        # Drain + close the private task queue so its feeder thread exits.
-        try:
-            handle.task_queue.close()
-            handle.task_queue.join_thread()
-        except (OSError, ValueError):  # pragma: no cover - queue already gone
-            pass
 
     # -- deadline -------------------------------------------------------------
 
-    def _deadline_seconds(self) -> Optional[float]:
+    def deadline_seconds(self) -> Optional[float]:
+        """Per-chunk deadline: fixed, or adaptive from observed durations."""
         if self.config.chunk_timeout is not None:
             return self.config.chunk_timeout
         if not self._durations:
@@ -306,9 +243,15 @@ class SupervisingExecutor:
 
     # -- scheduling -----------------------------------------------------------
 
-    def _ready_chunk(self, now: float) -> Optional[_ChunkState]:
+    def outstanding(self) -> int:
+        return sum(
+            1 for state in self.chunks if state.status in ("pending", "running")
+        )
+
+    def ready_chunk(self, now: float) -> Optional[_ChunkState]:
+        """The dispatchable chunk with the earliest backoff release."""
         best: Optional[_ChunkState] = None
-        for state in self._chunks:
+        for state in self.chunks:
             if state.status != "pending" or state.not_before > now:
                 continue
             if best is None or state.not_before < best.not_before:
@@ -317,21 +260,27 @@ class SupervisingExecutor:
                     break
         return best
 
-    def _dispatch_ready(self, now: float) -> None:
-        for handle in list(self._workers.values()):
-            if handle.busy or not handle.alive():
-                continue
-            state = self._ready_chunk(now)
-            if state is None:
-                return
-            state.status = "running"
-            state.attempts += 1
-            handle.chunk_index = state.index
-            handle.attempt = state.attempts - 1
-            handle.dispatched_at = now
-            handle.task_queue.put((state.index, handle.attempt, state.chunk))
+    def start(self, state: _ChunkState) -> int:
+        """Mark a chunk dispatched; returns its zero-based attempt index."""
+        state.status = "running"
+        state.attempts += 1
+        return state.attempts - 1
 
-    def _fail_chunk(self, state: _ChunkState, error: str, now: float) -> None:
+    def complete(self, state: _ChunkState, duration: Optional[float]) -> bool:
+        """Mark a chunk done; ``False`` when it was already committed.
+
+        A hang-killed (or presumed-lost) worker that actually finished after
+        its reassigned twin produces a duplicate completion: the caller must
+        drop the payload so the store never records a chunk twice.
+        """
+        if state.status == "done":
+            return False
+        if duration is not None and duration > 0:
+            self._durations.append(duration)
+        state.status = "done"
+        return True
+
+    def fail(self, state: _ChunkState, error: str, now: float) -> None:
         """Retry (with backoff) or quarantine a failed chunk."""
         state.last_error = error
         if state.attempts > self.config.max_chunk_retries:
@@ -375,6 +324,167 @@ class SupervisingExecutor:
             backoff,
         )
 
+
+class ChunkCommitSequencer:
+    """Reorders chunk commits into plan order so the store is deterministic.
+
+    Workers complete chunks in whatever order scheduling, retries and worker
+    deaths dictate, but the JSONL store must read exactly like the serial
+    run's — rows in plan order, byte for byte — for cross-run ``cmp`` diffing
+    and the distributed bit-identity guarantee.  The sequencer holds a
+    completed chunk until every earlier chunk has either committed or been
+    quarantined, then flushes in index order.  The cost is crash-window
+    granularity, not correctness: a crash loses only the *held* chunks,
+    which simply re-execute on resume.
+    """
+
+    def __init__(
+        self, plan_size: int, record_chunk: Callable[[Sequence[Any]], None]
+    ) -> None:
+        self._record = record_chunk
+        self._plan_size = int(plan_size)
+        self._next = 0
+        self._held: Dict[int, Sequence[Any]] = {}
+        self._skipped: set = set()
+
+    @property
+    def held(self) -> int:
+        """Completed chunks waiting on an earlier chunk (uncommitted)."""
+        return len(self._held)
+
+    def commit(self, chunk_index: int, payload: Sequence[Any]) -> None:
+        """Queue one completed chunk; flush every now-in-order commit."""
+        if chunk_index < self._next or chunk_index in self._skipped:
+            # A straggler duplicate of an already-committed (or quarantined)
+            # chunk — the ledger normally drops these, but a quarantine that
+            # later "completes" lands here and must not commit out of order.
+            logger.info("dropping late commit for chunk %d", chunk_index)
+            return
+        self._held[chunk_index] = payload
+        self._flush()
+
+    def skip(self, chunk_index: int) -> None:
+        """Mark a chunk that will never commit (quarantined) as sequenced."""
+        if chunk_index < self._next:
+            return
+        self._skipped.add(chunk_index)
+        self._flush()
+
+    def _flush(self) -> None:
+        while self._next < self._plan_size:
+            if self._next in self._held:
+                self._record(self._held.pop(self._next))
+            elif self._next in self._skipped:
+                self._skipped.discard(self._next)
+            else:
+                return
+            self._next += 1
+
+
+class SupervisingExecutor:
+    """Dispatch a campaign plan across supervised worker processes.
+
+    Parameters
+    ----------
+    plan:
+        The ordered chunk list from :func:`~repro.campaign.jobs.plan_job_chunks`.
+    record_chunk:
+        Parent-side commit callback (store append + bookkeeping); called
+        exactly once per completed chunk, in *plan order* (out-of-order
+        completions are held by a :class:`ChunkCommitSequencer` so the
+        store reads byte-identically to a serial run).
+    workers:
+        Number of worker processes to keep alive.
+    mp_context:
+        The ``multiprocessing`` context (fork on Linux, spawn elsewhere).
+    initializer / initargs:
+        Build the per-process execute callable; see
+        :func:`_supervised_worker_main`.
+    config:
+        Retry/deadline/backoff knobs (:class:`SupervisorConfig`).
+    """
+
+    def __init__(
+        self,
+        plan: Sequence[List[ChipJob]],
+        record_chunk: Callable[[Sequence[Any]], None],
+        workers: int,
+        mp_context,
+        initializer: Callable[..., Callable[[List[ChipJob], int, int], Any]],
+        initargs: Tuple[Any, ...],
+        config: Optional[SupervisorConfig] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.plan = [list(chunk) for chunk in plan]
+        self.record_chunk = record_chunk
+        self.worker_count = min(workers, len(self.plan)) or 1
+        self.mp_context = mp_context
+        self.initializer = initializer
+        self.initargs = tuple(initargs)
+        self.config = config if config is not None else SupervisorConfig()
+        self._ledger = ChunkLedger(self.plan, self.config)
+        self._sequencer = ChunkCommitSequencer(len(self.plan), self.record_chunk)
+        self._workers: Dict[int, _WorkerHandle] = {}
+        self._next_worker_id = 0
+        self._result_queue = None
+
+    @property
+    def failures(self) -> List[ChunkFailure]:
+        return self._ledger.failures
+
+    # -- worker lifecycle -----------------------------------------------------
+
+    def _spawn_worker(self) -> _WorkerHandle:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        task_queue = self.mp_context.Queue()
+        process = self.mp_context.Process(
+            target=_supervised_worker_main,
+            args=(
+                worker_id,
+                task_queue,
+                self._result_queue,
+                self.initializer,
+                self.initargs,
+            ),
+            daemon=True,
+            name=f"campaign-worker-{worker_id}",
+        )
+        process.start()
+        handle = _WorkerHandle(worker_id=worker_id, process=process, task_queue=task_queue)
+        self._workers[worker_id] = handle
+        return handle
+
+    def _discard_worker(self, handle: _WorkerHandle, kill: bool = False) -> None:
+        self._workers.pop(handle.worker_id, None)
+        if kill and handle.process.is_alive():
+            handle.process.kill()
+        handle.process.join(self.config.join_timeout)
+        if handle.process.is_alive():  # pragma: no cover - last resort
+            handle.process.kill()
+            handle.process.join(self.config.join_timeout)
+        # Drain + close the private task queue so its feeder thread exits.
+        try:
+            handle.task_queue.close()
+            handle.task_queue.join_thread()
+        except (OSError, ValueError):  # pragma: no cover - queue already gone
+            pass
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _dispatch_ready(self, now: float) -> None:
+        for handle in list(self._workers.values()):
+            if handle.busy or not handle.alive():
+                continue
+            state = self._ledger.ready_chunk(now)
+            if state is None:
+                return
+            handle.attempt = self._ledger.start(state)
+            handle.chunk_index = state.index
+            handle.dispatched_at = now
+            handle.task_queue.put((state.index, handle.attempt, state.chunk))
+
     def _handle_worker_loss(
         self, handle: _WorkerHandle, cause: str, now: float
     ) -> None:
@@ -397,9 +507,11 @@ class SupervisingExecutor:
         chunk_index = handle.chunk_index
         self._discard_worker(handle, kill=cause == "hang")
         if chunk_index is not None:
-            state = self._chunks[chunk_index]
+            state = self._ledger.chunks[chunk_index]
             if state.status == "running":
-                self._fail_chunk(state, f"worker lost ({cause})", now)
+                self._ledger.fail(state, f"worker lost ({cause})", now)
+                if state.status == "quarantined":
+                    self._sequencer.skip(state.index)
         if self._outstanding():
             metrics.counter("campaign.workers_respawned").inc()
             self._spawn_worker()
@@ -407,9 +519,7 @@ class SupervisingExecutor:
     # -- bookkeeping ----------------------------------------------------------
 
     def _outstanding(self) -> int:
-        return sum(
-            1 for state in self._chunks if state.status in ("pending", "running")
-        )
+        return self._ledger.outstanding()
 
     def _handle_message(self, message, now: float) -> None:
         kind, worker_id, chunk_index, attempt, payload = message
@@ -418,26 +528,25 @@ class SupervisingExecutor:
             return
         if kind == "init_error":  # pragma: no cover - fatal misconfiguration
             raise RuntimeError(f"campaign worker failed to initialize: {payload}")
-        state = self._chunks[chunk_index]
+        state = self._ledger.chunks[chunk_index]
         if handle is not None and handle.chunk_index == chunk_index:
             handle.chunk_index = None
         if kind == "done":
-            if state.status == "done":
+            duration = now - (handle.dispatched_at if handle else now)
+            if not self._ledger.complete(state, duration):
                 # A hang-killed worker that actually finished after its
                 # reassigned twin: the chunk is already committed, drop it.
                 logger.info("dropping duplicate result for chunk %d", chunk_index)
                 return
-            duration = now - (handle.dispatched_at if handle else now)
-            if duration > 0:
-                self._durations.append(duration)
-            state.status = "done"
-            self.record_chunk(payload)
+            self._sequencer.commit(chunk_index, payload)
         elif kind == "error":
             if state.status == "running":
-                self._fail_chunk(state, str(payload), now)
+                self._ledger.fail(state, str(payload), now)
+                if state.status == "quarantined":
+                    self._sequencer.skip(state.index)
 
     def _check_workers(self, now: float) -> None:
-        deadline = self._deadline_seconds()
+        deadline = self._ledger.deadline_seconds()
         for handle in list(self._workers.values()):
             if not handle.alive():
                 self._handle_worker_loss(handle, "exit", now)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.engine import CampaignEngine, CampaignReport, PathLike
 from repro.core.chips import ChipPopulation
@@ -84,6 +84,8 @@ def run_strategy_sweep(
     backend: Optional[str] = None,
     prefetch: bool = True,
     lowering_cache_mb: Optional[float] = None,
+    listen: Optional[Tuple[str, int]] = None,
+    workers: Optional[Sequence[Tuple[str, int]]] = None,
 ) -> StrategySweepResult:
     """Run one population through K mitigation strategies under one policy.
 
@@ -101,6 +103,10 @@ def run_strategy_sweep(
     same population walk the same unshuffled eval batches, so arms 2..K hit
     lowerings arm 1 already computed (``lowering_cache.hits``) instead of
     re-lowering each batch K times.
+
+    ``listen``/``workers`` turn the shared engine distributed: one socket
+    worker fleet serves every strategy arm in sequence (workers stay joined
+    across arms) and is shut down when the sweep finishes.
     """
     strategy_list = parse_strategy_list(strategies)
 
@@ -119,6 +125,8 @@ def run_strategy_sweep(
         backend=backend,
         prefetch=prefetch,
         lowering_cache_mb=lowering_cache_mb,
+        listen=listen,
+        workers=workers,
     )
     campaigns: "OrderedDict[str, CampaignResult]" = OrderedDict()
     reports: Dict[str, CampaignReport] = {}
@@ -126,23 +134,26 @@ def run_strategy_sweep(
     # actually pending are evaluated) and later strategies with the same key
     # reuse every value already measured.
     triage_by_key: Dict[str, Dict[str, float]] = {}
-    for strategy in strategy_list:
-        logger.info(
-            "sweep: running strategy %s over %d chips (policy %s)",
-            strategy.name,
-            len(population),
-            policy.name,
-        )
-        shared_triage = triage_by_key.setdefault(strategy.triage_key, {})
-        # One arm span per strategy; the engine's campaign.run span nests
-        # inside it, so a sweep trace attributes wall-clock per strategy arm.
-        with trace.span(
-            "sweep.strategy", strategy=strategy.name, chips=len(population)
-        ):
-            campaigns[strategy.name] = engine.run(
-                population, policy, strategy=strategy, triage=shared_triage
+    try:
+        for strategy in strategy_list:
+            logger.info(
+                "sweep: running strategy %s over %d chips (policy %s)",
+                strategy.name,
+                len(population),
+                policy.name,
             )
-        reports[strategy.name] = engine.last_report
+            shared_triage = triage_by_key.setdefault(strategy.triage_key, {})
+            # One arm span per strategy; the engine's campaign.run span nests
+            # inside it, so a sweep trace attributes wall-clock per strategy arm.
+            with trace.span(
+                "sweep.strategy", strategy=strategy.name, chips=len(population)
+            ):
+                campaigns[strategy.name] = engine.run(
+                    population, policy, strategy=strategy, triage=shared_triage
+                )
+            reports[strategy.name] = engine.last_report
+    finally:
+        engine.close()
     framework = context.framework()
     return StrategySweepResult(
         policy_name=policy.name,

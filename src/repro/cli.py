@@ -31,6 +31,19 @@ injector, and ``repro-reduce verify-store [PATH]`` audits the integrity of
 every campaign store under a directory (torn tails, checksum mismatches,
 duplicate rows, corrupt manifests).
 
+Campaigns also scale across hosts.  ``--listen [HOST:]PORT`` makes
+``campaign``/``compare`` serve chunks to socket workers started elsewhere with
+``repro-reduce worker --join HOST:PORT``; ``--workers HOST:PORT,...`` dials
+the other way (workers started with ``worker --listen``).  ``--jobs N`` then
+counts *local* socket workers forked next to the coordinator (``--jobs 0``
+runs remote-only).  Distributed campaigns commit through the same
+content-addressed store, so they resume and fingerprint exactly like local
+ones, and remote workers ship their trace/metrics shards home so
+``repro-reduce trace`` attributes time per ``host:pid``::
+
+    repro-reduce worker   --join 192.0.2.10:7000 --cache-dir prestate  # on each host
+    repro-reduce campaign --preset fast --listen 7000 --jobs 2 --chips 64
+
 The CLI is a thin wrapper over :mod:`repro.experiments` and
 :mod:`repro.campaign`; everything it does can also be driven from Python
 (see ``examples/``).
@@ -43,7 +56,7 @@ import json
 import os
 import sys
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.backends import (
     BACKEND_ENV_VAR,
@@ -51,7 +64,16 @@ from repro.backends import (
     get_backend,
     numba_available,
 )
-from repro.campaign import CHAOS_ENV_VAR, CampaignEngine, ChaosSpec, discover_stores
+from repro.campaign import (
+    CHAOS_ENV_VAR,
+    CampaignEngine,
+    ChaosSpec,
+    TransportError,
+    WorkerRejected,
+    discover_stores,
+    parse_address,
+    run_worker,
+)
 from repro.core.reporting import campaign_summary_table
 from repro.experiments import (
     ExperimentContext,
@@ -76,11 +98,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "command",
         choices=[
             "fig2a", "fig2b", "fig3", "campaign", "compare", "all", "info",
-            "trace", "verify-store",
+            "trace", "verify-store", "worker",
         ],
         help="which experiment to run ('info' prints the preset summary; "
         "'trace' summarizes a recorded campaign trace; 'verify-store' audits "
-        "the integrity of campaign stores under a directory)",
+        "the integrity of campaign stores under a directory; 'worker' joins "
+        "a distributed campaign as a socket worker)",
     )
     parser.add_argument(
         "path",
@@ -105,7 +128,46 @@ def _build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for per-chip retraining (default: 1 = serial)",
+        help="worker processes for per-chip retraining (default: 1 = serial). "
+        "With --listen/--workers this counts *local* socket workers forked "
+        "next to the coordinator; 0 runs the campaign on remote workers only",
+    )
+    parser.add_argument(
+        "--listen",
+        default=None,
+        metavar="[HOST:]PORT",
+        help="campaign/compare: serve chunks to socket workers that dial in "
+        "with 'worker --join' (PORT 0 picks a free port, printed at startup); "
+        "worker: wait for one coordinator started with --workers to dial in",
+    )
+    parser.add_argument(
+        "--workers",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="campaign/compare: dial out to socket workers already waiting "
+        "with 'worker --listen' (comma-separated addresses)",
+    )
+    parser.add_argument(
+        "--join",
+        default=None,
+        metavar="HOST:PORT",
+        help="worker: dial the campaign coordinator at HOST:PORT (retries "
+        "until --join-timeout, so workers may start before the campaign)",
+    )
+    parser.add_argument(
+        "--join-timeout",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="worker: how long to keep retrying the initial connection "
+        "(default: 120)",
+    )
+    parser.add_argument(
+        "--expect-preset",
+        default=None,
+        metavar="NAME",
+        help="worker: refuse campaigns built from any other preset (default: "
+        "accept whatever preset the coordinator announces)",
     )
     parser.add_argument(
         "--campaign-dir",
@@ -288,13 +350,22 @@ def _run_campaign(context: ExperimentContext, args: argparse.Namespace) -> Dict[
         backend=args.backend,
         prefetch=not args.no_prefetch,
         lowering_cache_mb=args.lowering_cache_mb,
+        listen=args.listen_address,
+        workers=args.worker_addresses,
     )
-    if args.policy == "fixed":
-        result = engine.run_fixed(population, args.fixed_epochs, strategy=args.strategy)
-    else:
-        statistic = args.policy.split("-", 1)[1]
-        result = engine.run_reduce(population, statistic=statistic, strategy=args.strategy)
-    report = engine.last_report
+    try:
+        if engine.distributed and engine.listen_address is not None:
+            host, port = engine.listen_address
+            print(f"[repro-reduce] coordinator listening on {host}:{port} "
+                  f"(workers join with: repro-reduce worker --join {host}:{port})")
+        if args.policy == "fixed":
+            result = engine.run_fixed(population, args.fixed_epochs, strategy=args.strategy)
+        else:
+            statistic = args.policy.split("-", 1)[1]
+            result = engine.run_reduce(population, statistic=statistic, strategy=args.strategy)
+        report = engine.last_report
+    finally:
+        engine.close()
 
     print(campaign_summary_table([result]))
     print()
@@ -346,6 +417,8 @@ def _run_compare(context: ExperimentContext, args: argparse.Namespace) -> Dict[s
         backend=args.backend,
         prefetch=not args.no_prefetch,
         lowering_cache_mb=args.lowering_cache_mb,
+        listen=args.listen_address,
+        workers=args.worker_addresses,
     )
     print(result.table())
     print()
@@ -376,8 +449,48 @@ def main(argv: Optional[List[str]] = None) -> int:
     # parser.error — a clean usage message and exit code 2 — instead of
     # surfacing as CampaignEngine/ChipPopulation tracebacks after the
     # expensive context build.
-    if args.jobs < 1:
+    distributed = args.listen is not None or args.workers is not None
+    if args.command == "worker":
+        if (args.join is None) == (args.listen is None):
+            parser.error("'worker' requires exactly one of --join or --listen")
+        if args.workers is not None:
+            parser.error("--workers is only valid with 'campaign' and 'compare'")
+    else:
+        if args.join is not None or args.expect_preset is not None:
+            parser.error("--join/--expect-preset are only valid with the 'worker' command")
+        if distributed and args.command not in ("campaign", "compare"):
+            parser.error(
+                "--listen/--workers are only valid with 'campaign', 'compare' "
+                "and 'worker'"
+            )
+    if distributed and args.command in ("campaign", "compare"):
+        if args.jobs < 0:
+            parser.error("--jobs must be >= 0 with --listen/--workers "
+                         "(0 = remote socket workers only)")
+    elif args.command != "worker" and args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.join_timeout <= 0:
+        parser.error("--join-timeout must be positive")
+    listen_address: Optional[Tuple[str, int]] = None
+    worker_addresses: Optional[List[Tuple[str, int]]] = None
+    join_address: Optional[Tuple[str, int]] = None
+    try:
+        if args.listen is not None:
+            listen_address = parse_address(args.listen)
+        if args.join is not None:
+            join_address = parse_address(args.join)
+        if args.workers is not None:
+            worker_addresses = [
+                parse_address(spec)
+                for spec in str(args.workers).split(",")
+                if spec.strip()
+            ]
+            if not worker_addresses:
+                parser.error("--workers requires at least one HOST:PORT")
+    except ValueError as error:
+        parser.error(f"invalid address: {error}")
+    args.listen_address = listen_address
+    args.worker_addresses = worker_addresses
     if args.fat_batch is not None and args.fat_batch < 1:
         parser.error("--fat-batch must be >= 1")
     if args.chips is not None and args.chips < 1:
@@ -419,6 +532,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.path is not None and args.command not in ("trace", "verify-store"):
         parser.error(f"positional path is only valid with the 'trace' and "
                      f"'verify-store' commands, not {args.command!r}")
+
+    if args.command == "worker":
+        # Socket worker: the coordinator announces the preset, so no local
+        # context build (the worker pre-trains from the announced preset,
+        # hitting --cache-dir when the coordinator host shipped one over).
+        where = (
+            f"joining {args.join}" if join_address is not None
+            else f"listening on {args.listen}"
+        )
+        print(f"[repro-reduce] socket worker {where} (pid {os.getpid()})")
+        try:
+            executed = run_worker(
+                join=join_address,
+                listen=listen_address,
+                cache_dir=str(args.cache_dir) if args.cache_dir is not None else None,
+                expect_preset=args.expect_preset,
+                connect_timeout=args.join_timeout,
+            )
+        except WorkerRejected as error:
+            print(f"[repro-reduce] worker rejected by coordinator: {error}",
+                  file=sys.stderr)
+            return 1
+        except TransportError as error:
+            print(f"[repro-reduce] worker transport failure: {error}", file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            print("[repro-reduce] worker interrupted", file=sys.stderr)
+            return 130
+        print(f"[repro-reduce] worker done: {executed} chunk(s) executed")
+        return 0
 
     if args.command == "verify-store":
         # Pure store auditing: no context build needed.

@@ -14,7 +14,7 @@ constraint) are reported via :mod:`repro.analysis.pareto`.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -181,6 +181,8 @@ def run_compare(
     backend: Optional[str] = None,
     prefetch: bool = True,
     lowering_cache_mb: Optional[float] = None,
+    listen: Optional[Tuple[str, int]] = None,
+    workers: Optional[Sequence[Tuple[str, int]]] = None,
 ) -> CompareResult:
     """Run the multi-strategy comparison on the given context.
 
@@ -222,6 +224,8 @@ def run_compare(
         backend=backend,
         prefetch=prefetch,
         lowering_cache_mb=lowering_cache_mb,
+        listen=listen,
+        workers=workers,
     )
 
     rows: List[Dict[str, object]] = []

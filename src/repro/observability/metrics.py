@@ -17,8 +17,10 @@ Instruments::
 Label kwargs are folded into the metric key (``name{k=v,...}``), so a sweep's
 per-strategy throughput counters coexist in one registry.  Snapshots are
 plain JSON (:meth:`MetricsRegistry.snapshot`); pool workers write per-process
-``metrics-<pid>.json`` shards which :func:`merge_metric_shards` combines —
-counters sum, gauges keep the latest write, histograms merge their moments.
+``metrics-<host>-<pid>.json`` shards (host-qualified so cross-host shards
+never collide; old ``metrics-<pid>.json`` shards still merge) which
+:func:`merge_metric_shards` combines — counters sum, gauges keep the latest
+write, histograms merge their moments.
 
 Like the tracer, the registry never touches model numerics or RNG streams:
 results are bit-identical with metrics on or off.
@@ -31,6 +33,8 @@ import os
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.utils.hostinfo import host_tag
 
 PathLike = Union[str, Path]
 
@@ -250,14 +254,15 @@ class MetricsRegistry:
         self._histograms.clear()
 
     def shard_path(self, directory: PathLike) -> Path:
-        return Path(directory) / f"{METRICS_SHARD_PREFIX}{os.getpid()}{METRICS_SHARD_SUFFIX}"
+        return (
+            Path(directory)
+            / f"{METRICS_SHARD_PREFIX}{host_tag()}-{os.getpid()}{METRICS_SHARD_SUFFIX}"
+        )
 
-    def write_shard(self, directory: PathLike) -> Path:
-        """Write this process's snapshot shard (atomic replace, safe to re-run)."""
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        path = self.shard_path(directory)
-        payload = {
+    def shard_payload(self) -> Dict[str, Any]:
+        """This process's shard content (also shipped over the campaign socket)."""
+        return {
+            "host": host_tag(),
             "pid": os.getpid(),
             "written_at": time.time(),
             "metrics": self.snapshot(),
@@ -266,6 +271,13 @@ class MetricsRegistry:
                 key: histogram.samples for key, histogram in self._histograms.items()
             },
         }
+
+    def write_shard(self, directory: PathLike) -> Path:
+        """Write this process's snapshot shard (atomic replace, safe to re-run)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = self.shard_path(directory)
+        payload = self.shard_payload()
         tmp = path.with_name(path.name + ".tmp")
         with tmp.open("w", encoding="utf-8") as handle:
             json.dump(payload, handle)

@@ -7,9 +7,12 @@ worker process and per mitigation strategy:
 * **Phases** are the engine's top-level spans (``campaign.resume_scan`` /
   ``campaign.triage`` / ``campaign.plan`` / ``campaign.execute``), reported
   as a share of the summed ``campaign.run`` wall-clock.
-* **Workers** are the processes that executed ``campaign.chunk`` spans; a
-  worker's utilization is its busy (in-span) time over the execute-phase
-  wall-clock, which makes pool starvation visible at a glance.
+* **Workers** are the processes that executed ``campaign.chunk`` spans,
+  keyed by ``(hostname, pid)`` so cross-host workers of a distributed
+  campaign never collide (old single-host shards without a host field fold
+  into one anonymous host); a worker's utilization is its busy (in-span)
+  time over the execute-phase wall-clock, which makes pool starvation
+  visible at a glance.
 * **Strategies** aggregate chunk time and chip counts by the ``strategy``
   span attribute, giving per-strategy chips/s straight from the trace.
 * **Faults** count the supervisor's recovery instants (worker deaths, chunk
@@ -24,7 +27,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.analysis.ascii_plot import bar_table
 from repro.observability.tracer import (
@@ -49,12 +52,18 @@ def _from_chrome(document: Dict[str, Any]) -> List[Dict[str, Any]]:
     """Normalize a Chrome trace-event document back to internal events."""
     events: List[Dict[str, Any]] = []
     for entry in document.get("traceEvents", []):
+        # The chrome export stores the host in args (pids must stay ints
+        # there); lift it back out into the event's host field.
+        attrs = dict(entry.get("args", {}) or {})
+        host = attrs.pop("host", None)
         event: Dict[str, Any] = {
             "name": entry.get("name", ""),
             "start": float(entry.get("ts", 0.0)) / 1e6,
             "pid": int(entry.get("pid", 0)),
-            "attrs": entry.get("args", {}) or {},
+            "attrs": attrs,
         }
+        if host:
+            event["host"] = str(host)
         if entry.get("ph") == "X":
             event["duration"] = float(entry.get("dur", 0.0)) / 1e6
         events.append(event)
@@ -111,14 +120,17 @@ def summarize_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
     execute_total = next(p["seconds"] for p in phases if p["phase"] == "execute")
 
     chunks = _duration_events(events, "campaign.chunk")
-    workers: Dict[int, Dict[str, Any]] = {}
+    workers: Dict[Tuple[str, int], Dict[str, Any]] = {}
     strategies: Dict[str, Dict[str, Any]] = {}
     for chunk in chunks:
         attrs = chunk.get("attrs", {}) or {}
         seconds = float(chunk["duration"])
         chips = int(attrs.get("chips", 0))
+        # Key by (host, pid): pids collide across the hosts of a distributed
+        # campaign.  Legacy shards without a host field share the "" host.
         worker = workers.setdefault(
-            int(chunk.get("pid", 0)), {"busy_seconds": 0.0, "chunks": 0, "chips": 0}
+            (str(chunk.get("host", "") or ""), int(chunk.get("pid", 0))),
+            {"busy_seconds": 0.0, "chunks": 0, "chips": 0},
         )
         worker["busy_seconds"] += seconds
         worker["chunks"] += 1
@@ -130,11 +142,13 @@ def summarize_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
         strategy["chips"] += chips
     worker_rows = [
         {
+            "host": host,
             "pid": pid,
+            "worker": f"{host}:{pid}" if host else f"pid {pid}",
             **stats,
             "utilization": stats["busy_seconds"] / execute_total if execute_total else 0.0,
         }
-        for pid, stats in sorted(workers.items())
+        for (host, pid), stats in sorted(workers.items())
     ]
     strategy_rows = [
         {
@@ -224,7 +238,7 @@ def render_trace_summary(summary: Dict[str, Any], width: int = 40) -> str:
             bar_table(
                 [
                     (
-                        f"pid {row['pid']}",
+                        str(row.get("worker") or f"pid {row['pid']}"),
                         100.0 * row["utilization"],
                         f"{100.0 * row['utilization']:5.1f}%  "
                         f"{row['chips']} chips in {row['chunks']} chunk(s)",

@@ -15,11 +15,15 @@ API::
   ``benchmarks/test_bench_campaign.py`` pins this).
 * **Enabled** (:meth:`Tracer.enable` with a directory), every finished span
   is appended immediately — one JSON line per span, flushed but not fsynced —
-  to a per-process shard ``trace-<pid>.jsonl``.  Worker processes of the
-  campaign pool write their *own* shards: the shard path is re-derived
-  whenever ``os.getpid()`` changes, so ``fork``-started workers that inherit
-  an enabled tracer never interleave writes into the parent's shard, and
-  ``spawn``-started workers are enabled explicitly by the pool initializer.
+  to a per-process shard ``trace-<host>-<pid>.jsonl``.  Shards are keyed by
+  ``(hostname, pid)`` because distributed campaigns collect shards from
+  several machines into one directory, where a bare pid collides; old
+  single-host ``trace-<pid>.jsonl`` shards still match the merge glob and
+  stay readable.  Worker processes of the campaign pool write their *own*
+  shards: the shard path is re-derived whenever ``os.getpid()`` changes, so
+  ``fork``-started workers that inherit an enabled tracer never interleave
+  writes into the parent's shard, and ``spawn``-started workers are enabled
+  explicitly by the pool initializer.
   Immediate per-span writes are what make traces kill-tolerant: a killed
   campaign's shard holds every span that finished before the kill.
 
@@ -41,6 +45,8 @@ import os
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, TextIO, Union
+
+from repro.utils.hostinfo import host_tag
 
 PathLike = Union[str, Path]
 
@@ -132,7 +138,10 @@ class Tracer:
         """This process's shard path (None while disabled)."""
         if self.directory is None:
             return None
-        return self.directory / f"{SHARD_PREFIX}{os.getpid()}{SHARD_SUFFIX}"
+        return (
+            self.directory
+            / f"{SHARD_PREFIX}{host_tag()}-{os.getpid()}{SHARD_SUFFIX}"
+        )
 
     # -- recording -----------------------------------------------------------
 
@@ -165,7 +174,12 @@ class Tracer:
             self._close()
             self._handle = self.shard_path().open("a", encoding="utf-8")
             self._pid = pid
-        event: Dict[str, Any] = {"name": name, "start": start, "pid": pid}
+        event: Dict[str, Any] = {
+            "name": name,
+            "start": start,
+            "pid": pid,
+            "host": host_tag(),
+        }
         if duration is not None:
             event["duration"] = duration
         if attrs:
@@ -228,13 +242,19 @@ def to_chrome_trace(events: List[Dict[str, Any]]) -> Dict[str, Any]:
     trace_events: List[Dict[str, Any]] = []
     for event in events:
         pid = int(event.get("pid", 0))
+        # Chrome trace pids must be integers, so the host travels in args
+        # (restored by the summary loader when reading a merged trace back).
+        args = dict(event.get("attrs", {}) or {})
+        host = event.get("host")
+        if host:
+            args["host"] = str(host)
         entry: Dict[str, Any] = {
             "name": str(event["name"]),
             "cat": str(event["name"]).split(".", 1)[0],
             "ts": (float(event["start"]) - t0) * 1e6,
             "pid": pid,
             "tid": pid,
-            "args": event.get("attrs", {}),
+            "args": args,
         }
         duration = event.get("duration")
         if duration is None:

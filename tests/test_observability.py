@@ -78,21 +78,26 @@ class TestTracer:
         # Transient kwargs dicts are freed; nothing is retained per span.
         assert current - baseline < 4096
 
-    def test_enabled_spans_record_to_pid_shard(self, tmp_path):
+    def test_enabled_spans_record_to_host_pid_shard(self, tmp_path):
         import os
+
+        from repro.utils.hostinfo import host_tag
 
         trace.enable(tmp_path)
         with trace.span("campaign.triage", chips=3):
             pass
         trace.instant("campaign.chip", chip_id="chip-0")
         shard = trace.shard_path()
-        assert shard is not None and shard.name == f"trace-{os.getpid()}.jsonl"
+        # Shards are host-qualified so cross-host collection never collides.
+        assert shard is not None
+        assert shard.name == f"trace-{host_tag()}-{os.getpid()}.jsonl"
         events = read_shard(shard)
         assert [e["name"] for e in events] == ["campaign.triage", "campaign.chip"]
         span_event, instant_event = events
         assert span_event["attrs"] == {"chips": 3}
         assert span_event["duration"] >= 0.0
         assert span_event["pid"] == os.getpid()
+        assert span_event["host"] == host_tag()
         assert "duration" not in instant_event
 
     def test_span_set_updates_attrs(self, tmp_path):
@@ -141,9 +146,12 @@ class TestTracer:
         document = json.loads(output.read_text())
         assert document["displayTimeUnit"] == "ms"
         entries = {e["name"]: e for e in document["traceEvents"]}
+        from repro.utils.hostinfo import host_tag
+
         assert entries["campaign.run"]["ph"] == "X"
         assert entries["campaign.run"]["cat"] == "campaign"
-        assert entries["campaign.run"]["args"] == {"chips": 2}
+        # The host rides in args because chrome pids must stay integers.
+        assert entries["campaign.run"]["args"] == {"chips": 2, "host": host_tag()}
         assert entries["campaign.chip"]["ph"] == "i"
         # Timestamps are microseconds relative to the earliest event.
         assert min(e["ts"] for e in document["traceEvents"]) == 0.0
